@@ -1,0 +1,120 @@
+(* The benchmark harness: regenerates every experiment table (E1..E7,
+   one per reproduced claim of the paper — see DESIGN.md section 4) and
+   runs Bechamel timing suites over the simulator, the lemma solvers and
+   the adversary.
+
+   Usage:
+     dune exec bench/main.exe            # all experiments + timing
+     dune exec bench/main.exe e3         # one experiment
+     dune exec bench/main.exe time       # timing suites only
+*)
+
+module E = Rme_experiments.Experiments
+module Table = Rme_util.Table
+
+let print_outcome tables = List.iter Table.print tables
+
+let run_experiment (id, descr, f) =
+  Printf.printf "---- %s: %s ----\n%!" (String.uppercase_ascii id) descr;
+  let t0 = Unix.gettimeofday () in
+  print_outcome (f ());
+  Printf.printf "(%s completed in %.1fs)\n\n%!" id (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing: one probe per moving part, so the harness doubles
+   as a performance regression suite. *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let module H = Rme_sim.Harness in
+  let module Rmr = Rme_memory.Rmr in
+  let harness_run factory n model () =
+    let cfg =
+      { (H.default_config ~n ~width:16 model) with H.superpassages = 1 }
+    in
+    ignore (H.run cfg factory)
+  in
+  let adversary_run factory n () =
+    ignore
+      (Rme_core.Adversary.run
+         (Rme_core.Adversary.default_config ~n ~width:8 Rmr.Cc)
+         factory)
+  in
+  let lemma5_run () =
+    let parts = Array.init 4 (fun i -> Array.init 3 (fun j -> (i * 10) + j)) in
+    let edges = (Rme_core.Partite.complete ~parts).Rme_core.Partite.edges in
+    ignore (Rme_core.Lemma5.solve ~s:2.5 ~eps:0.2 ~parts ~edges)
+  in
+  let machine_completion () =
+    let m =
+      Rme_core.Machine.create ~n:8 ~width:16 ~model:Rmr.Cc
+        Rme_locks.Katzan_morrison.factory
+    in
+    for p = 0 to 7 do
+      ignore
+        (Rme_core.Machine.run_to_completion m ~pid:p ~cap:10_000 ~on_step:(fun _ -> ()))
+    done
+  in
+  [
+    Test.make ~name:"harness: mcs n=8 CC"
+      (Staged.stage (harness_run Rme_locks.Mcs.factory 8 Rmr.Cc));
+    Test.make ~name:"harness: km n=8 CC"
+      (Staged.stage (harness_run Rme_locks.Katzan_morrison.factory 8 Rmr.Cc));
+    Test.make ~name:"harness: km n=8 DSM"
+      (Staged.stage (harness_run Rme_locks.Katzan_morrison.factory 8 Rmr.Dsm));
+    Test.make ~name:"harness: rtournament n=16 CC"
+      (Staged.stage (harness_run Rme_locks.Rtournament.factory 16 Rmr.Cc));
+    Test.make ~name:"adversary: rcas n=64"
+      (Staged.stage (adversary_run Rme_locks.Rcas.factory 64));
+    Test.make ~name:"adversary: km n=64"
+      (Staged.stage (adversary_run Rme_locks.Katzan_morrison.factory 64));
+    Test.make ~name:"lemma5: complete 3^4" (Staged.stage lemma5_run);
+    Test.make ~name:"machine: 8 km completions" (Staged.stage machine_completion);
+  ]
+
+let run_timing () =
+  let open Bechamel in
+  print_endline "---- TIMING (Bechamel, monotonic clock) ----";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let t = Table.create ~title:"timing" ~columns:[ "probe"; "time/run" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let cell =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) ->
+                if x > 1e9 then Printf.sprintf "%.2f s" (x /. 1e9)
+                else if x > 1e6 then Printf.sprintf "%.2f ms" (x /. 1e6)
+                else if x > 1e3 then Printf.sprintf "%.2f us" (x /. 1e3)
+                else Printf.sprintf "%.0f ns" x
+            | Some [] | None -> "n/a"
+          in
+          Table.add_row t [ name; cell ])
+        analyzed)
+    (bechamel_tests ());
+  Table.print t
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      List.iter run_experiment E.all;
+      run_timing ()
+  | [ "time" ] -> run_timing ()
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.find_opt (fun (i, _, _) -> i = id) E.all with
+          | Some e -> run_experiment e
+          | None ->
+              Printf.eprintf "unknown experiment %S (available: %s, time)\n" id
+                (String.concat ", " (List.map (fun (i, _, _) -> i) E.all));
+              exit 1)
+        ids

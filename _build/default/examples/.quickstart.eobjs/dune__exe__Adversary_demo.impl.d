@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Format List Printf Rme_core Rme_locks Rme_memory Rme_sim Rme_util

@@ -1,0 +1,1 @@
+examples/nvram_log.ml: Array List Option Printf Rme_locks Rme_memory Rme_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Rme_locks Rme_memory Rme_sim

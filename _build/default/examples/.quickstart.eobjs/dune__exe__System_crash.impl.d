@@ -1,0 +1,1 @@
+examples/system_crash.ml: Array List Printf Rme_core Rme_locks Rme_memory Rme_sim Rme_util

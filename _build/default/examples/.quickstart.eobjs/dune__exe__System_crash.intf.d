@@ -1,0 +1,1 @@
+examples/system_crash.mli:

@@ -1,0 +1,1 @@
+examples/word_size_tradeoff.ml: List Printf Rme_core Rme_locks Rme_memory Rme_sim Rme_util

@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Bounds Hashtbl List Machine Option Rme_memory Rme_util Schedule

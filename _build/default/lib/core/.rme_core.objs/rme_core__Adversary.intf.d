@@ -1,0 +1,1 @@
+lib/core/adversary.mli: Rme_memory Rme_sim Rme_util Schedule

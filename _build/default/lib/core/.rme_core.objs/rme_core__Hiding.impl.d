@@ -1,0 +1,1 @@
+lib/core/hiding.ml: Array Hashtbl Lemma5 List Partite Printf Result Rme_util

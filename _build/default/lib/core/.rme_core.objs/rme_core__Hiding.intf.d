@@ -1,0 +1,1 @@
+lib/core/hiding.mli: Partite Rme_util

@@ -1,0 +1,1 @@
+lib/core/lemma4.ml: Array Hashtbl List Option Partite Printf Result

@@ -1,0 +1,1 @@
+lib/core/lemma4.mli: Partite

@@ -1,0 +1,1 @@
+lib/core/lemma5.ml: Array Hashtbl Lemma4 List Partite Printf Result Rme_util

@@ -1,0 +1,1 @@
+lib/core/lemma5.mli: Partite Rme_util

@@ -1,0 +1,1 @@
+lib/core/machine.ml: Array Printf Rme_memory Rme_sim

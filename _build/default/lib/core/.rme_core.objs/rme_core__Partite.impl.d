@@ -1,0 +1,1 @@
+lib/core/partite.ml: Array Hashtbl List Option Printf Rme_util

@@ -1,0 +1,1 @@
+lib/core/partite.mli: Hashtbl Rme_util

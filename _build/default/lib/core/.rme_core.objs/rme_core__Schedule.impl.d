@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Hashtbl List Machine Option Printf Rme_memory Rme_sim Rme_util

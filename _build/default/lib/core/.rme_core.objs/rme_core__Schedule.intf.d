@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Hashtbl Machine Rme_memory Rme_sim Rme_util

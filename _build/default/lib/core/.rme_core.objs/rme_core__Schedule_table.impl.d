@@ -1,0 +1,1 @@
+lib/core/schedule_table.ml: Adversary Array Format List Machine Option Printf Rme_memory Rme_util Schedule

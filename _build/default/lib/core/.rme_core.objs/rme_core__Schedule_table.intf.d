@@ -1,0 +1,1 @@
+lib/core/schedule_table.mli: Adversary Format Rme_util

@@ -1,0 +1,34 @@
+let log2 x = log x /. log 2.0
+
+let log_base ~base x = log x /. log base
+
+let log_n ~n = if n <= 1 then 0.0 else log2 (float_of_int n)
+
+let log_over_loglog ~n =
+  if n <= 2 then 1.0
+  else begin
+    let l = log2 (float_of_int n) in
+    let ll = log2 l in
+    if ll <= 1.0 then l else l /. ll
+  end
+
+let km_upper ~n ~w =
+  if n <= 1 then 0.0
+  else begin
+    let b = float_of_int (max 2 w) in
+    Float.max 1.0 (Float.ceil (log_base ~base:b (float_of_int n)))
+  end
+
+let theorem1_lower ~n ~w =
+  if n <= 1 then 0.0
+  else Float.max 1.0 (Float.min (km_upper ~n ~w) (log_over_loglog ~n))
+
+let crossover_width ~n = max 2 (int_of_float (Float.round (log_n ~n)))
+
+let tree_levels ~n ~b =
+  if n <= 1 then 0
+  else begin
+    let b = max 2 b in
+    let rec loop l cap = if cap >= n then l else loop (l + 1) (cap * b) in
+    loop 1 b
+  end

@@ -1,0 +1,29 @@
+(** Closed-form RMR complexity formulas of the paper and its related
+    work, for comparing measured values against predicted shapes. *)
+
+val log2 : float -> float
+
+val log_base : base:float -> float -> float
+
+val theorem1_lower : n:int -> w:int -> float
+(** The paper's Theorem 1: [min(log_w n, log n / log log n)] (the
+    asymptotic body, constant factor 1, floored at 1). *)
+
+val km_upper : n:int -> w:int -> float
+(** Katzan–Morrison upper bound shape: [max 1 (ceil (log_w n))]. *)
+
+val log_n : n:int -> float
+(** [log2 n], the Yang–Anderson / recoverable-tournament shape. *)
+
+val log_over_loglog : n:int -> float
+(** [log n / log log n] — the optimal RME complexity for
+    FAS/CAS-style primitives (Golab–Hendler, Jayanti–Jayanti–Joshi). *)
+
+val crossover_width : n:int -> int
+(** The [w ~ log n] point at which [log_w n] meets
+    [log n / log log n]. *)
+
+val tree_levels : n:int -> b:int -> int
+(** [ceil (log_b n)], the number of levels of a [b]-ary arbitration
+    tree (0 for [n <= 1]) — the exact structural quantity behind
+    [km_upper]. *)

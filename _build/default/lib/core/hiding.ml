@@ -1,0 +1,248 @@
+module Intset = Rme_util.Intset
+
+type params = {
+  ell : int;
+  delta : float;
+  k : int;
+  subgroup_size : int;
+  s : float;
+  eps : float;
+}
+
+let paper_params ~ell ~delta =
+  if ell < 1 then invalid_arg "Hiding.paper_params: ell must be >= 1";
+  if delta < 1.0 then invalid_arg "Hiding.paper_params: delta must be >= 1";
+  let subgroup_size = int_of_float (27.0 *. delta *. float_of_int ell) in
+  {
+    ell;
+    delta;
+    k = 4 * ell;
+    subgroup_size;
+    s = float_of_int subgroup_size /. 1.2;
+    eps = 0.2;
+  }
+
+let min_group_size p = p.k * p.subgroup_size
+
+let check_params p =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if p.ell < 0 then fail "ell must be >= 0"
+  else if p.delta < 1.0 then fail "delta must be >= 1"
+  else if p.k < 1 then fail "k must be >= 1"
+  else if p.subgroup_size < 1 then fail "subgroup_size must be >= 1"
+  else if p.s <= 0.0 then fail "s must be positive"
+  else if p.eps < 0.0 || p.eps >= 0.5 then fail "eps must be in [0, 1/2)"
+  else if float_of_int p.subgroup_size > (p.s *. (1.0 +. p.eps)) +. 1e-9 then
+    fail "subgroup_size %d exceeds s(1+eps) = %.3f" p.subgroup_size
+      (p.s *. (1.0 +. p.eps))
+  else begin
+    (* Majority-value edge count: subgroup^k / 2^ell >= s^k. *)
+    let lhs =
+      float_of_int p.k
+      *. log (float_of_int p.subgroup_size /. p.s)
+    in
+    let rhs = float_of_int p.ell *. log 2.0 in
+    if lhs < rhs -. 1e-9 then
+      fail "(subgroup/s)^k = e^%.3f below 2^ell = e^%.3f" lhs rhs
+    else begin
+      (* |I_D| >= m/2 needs min |U_i \ V_i| >= 2*delta*max |V_i|. *)
+      let uv_min = (p.s *. (1.0 +. p.eps) *. (1.0 -. (2.0 *. p.eps))) -. 1.0 in
+      let v_max = float_of_int ((2 * (p.k - 1)) + 1) in
+      if uv_min < 2.0 *. p.delta *. v_max -. 1e-9 then
+        fail "hiding margin too small: |U\\V| >= %.2f but need >= 2*delta*|V| = %.2f"
+          uv_min
+          (2.0 *. p.delta *. v_max)
+      else Ok ()
+    end
+  end
+
+type group_solution = {
+  index : int;
+  parts : int array array;
+  a : Partite.edge;
+  v : Intset.t;
+  d : int;
+  f_edges : Partite.edge list;
+  u : Intset.t;
+  y : int;
+}
+
+type t = { y0 : int; groups : group_solution array; params : params }
+
+let subgroup_partition p xs =
+  if Array.length xs < min_group_size p then
+    invalid_arg
+      (Printf.sprintf "Hiding: group of size %d below required %d"
+         (Array.length xs) (min_group_size p));
+  Array.init p.k (fun j -> Array.sub xs (j * p.subgroup_size) p.subgroup_size)
+
+let solve p ~groups ~f ~y0 =
+  (match check_params p with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Hiding.solve: " ^ m));
+  let y_prev = ref y0 in
+  let solutions =
+    Array.mapi
+      (fun index xs ->
+        let parts = subgroup_partition p xs in
+        let complete = Partite.complete ~parts in
+        (* Pick the value y_i produced by the most tuples. *)
+        let by_value =
+          Partite.group_by_value complete.Partite.edges ~f:(fun e ->
+              f ~y:!y_prev e)
+        in
+        let y_i, edges_y =
+          Hashtbl.fold
+            (fun y es (best_y, best_es) ->
+              if List.length es > List.length best_es then (y, es)
+              else (best_y, best_es))
+            by_value (0, [])
+        in
+        let outcome = Lemma5.solve ~s:p.s ~eps:p.eps ~parts ~edges:edges_y in
+        let a =
+          match outcome.Lemma5.hyperedges with
+          | e :: _ -> e
+          | [] -> assert false (* Lemma5 guarantees non-empty F *)
+        in
+        let x_d = parts.(outcome.Lemma5.d - 1) in
+        let u = outcome.Lemma5.u in
+        (* V_i = (U_i \ X_{i,d_i}) ∪ A_i. *)
+        let v =
+          Array.fold_left
+            (fun acc vtx -> Intset.add vtx acc)
+            (Array.fold_left (fun acc vtx -> Intset.remove vtx acc) u x_d)
+            a
+        in
+        let sol =
+          {
+            index;
+            parts;
+            a;
+            v;
+            d = outcome.Lemma5.d;
+            f_edges = outcome.Lemma5.hyperedges;
+            u;
+            y = y_i;
+          }
+        in
+        y_prev := y_i;
+        sol)
+      groups
+  in
+  { y0; groups = solutions; params = p }
+
+let all_v t =
+  Array.fold_left (fun acc g -> Intset.union acc g.v) Intset.empty t.groups
+
+let y_after t i = if i = 0 then t.y0 else t.groups.(i - 1).y
+
+type hidden = { index : int; z : int; b : int array; e : Partite.edge }
+
+let query t ~d:discovered =
+  Array.to_list t.groups
+  |> List.filter_map (fun g ->
+         let x_d = g.parts.(g.d - 1) in
+         (* Candidates for the hidden process: U_i ∩ X_{i,d_i}, minus V_i
+            and minus the discovery set D. *)
+         let candidates =
+           Array.to_list x_d
+           |> List.filter (fun z ->
+                  Intset.mem z g.u
+                  && (not (Intset.mem z g.v))
+                  && not (Intset.mem z discovered))
+         in
+         match candidates with
+         | [] -> None
+         | z :: _ ->
+             (* Any F_i-hyperedge through z serves: its other components
+                lie in U_i \ X_{i,d_i} ⊆ V_i. *)
+             let e =
+               List.find (fun e -> e.(g.d - 1) = z) g.f_edges
+             in
+             let b =
+               Array.of_list
+                 (List.filteri
+                    (fun j _ -> j <> g.d - 1)
+                    (Array.to_list e))
+             in
+             Some { index = g.index; z; b; e })
+
+let verify t ~f =
+  let ( let* ) r fn = Result.bind r fn in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec each i =
+    if i >= Array.length t.groups then Ok ()
+    else begin
+      let g = t.groups.(i) in
+      let y_prev = y_after t i in
+      (* A_i steps must change the value from y_{i-1} to y_i. *)
+      let* () =
+        if f ~y:y_prev g.a = g.y then Ok ()
+        else fail "group %d: f_{y_%d}(A) <> y_%d" i i (i + 1)
+      in
+      (* A_i ⊆ V_i ⊆ X_i, and A_i non-empty. *)
+      let* () =
+        if Array.length g.a > 0 then Ok () else fail "group %d: A empty" i
+      in
+      let x_i =
+        Array.fold_left
+          (fun acc part ->
+            Array.fold_left (fun acc v -> Intset.add v acc) acc part)
+          Intset.empty g.parts
+      in
+      let* () =
+        if Array.for_all (fun v -> Intset.mem v g.v) g.a then Ok ()
+        else fail "group %d: A not within V" i
+      in
+      let* () =
+        if Intset.subset g.v x_i then Ok () else fail "group %d: V not within X" i
+      in
+      (* Every F_i edge evaluates to y_i. *)
+      let* () =
+        if List.for_all (fun e -> f ~y:y_prev e = g.y) g.f_edges then Ok ()
+        else fail "group %d: some F edge does not reach y_%d" i (i + 1)
+      in
+      each (i + 1)
+    end
+  in
+  each 0
+
+let verify_query t ~f ~d:discovered hiddens =
+  let ( let* ) r fn = Result.bind r fn in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let m = Array.length t.groups in
+  let budget =
+    t.params.delta *. float_of_int (Intset.cardinal (all_v t))
+  in
+  let* () =
+    if float_of_int (Intset.cardinal discovered) <= budget +. 1e-9 then
+      if 2 * List.length hiddens >= m then Ok ()
+      else
+        fail "|I_D| = %d below m/2 = %.1f (|D| = %d within budget %.1f)"
+          (List.length hiddens)
+          (float_of_int m /. 2.0)
+          (Intset.cardinal discovered)
+          budget
+    else Ok () (* no guarantee claimed beyond the budget *)
+  in
+  let rec each = function
+    | [] -> Ok ()
+    | h :: rest ->
+        let g = t.groups.(h.index) in
+        let y_prev = y_after t h.index in
+        let* () =
+          if (not (Intset.mem h.z g.v)) && not (Intset.mem h.z discovered)
+          then Ok ()
+          else fail "group %d: z in V ∪ D" h.index
+        in
+        let* () =
+          if Array.for_all (fun v -> Intset.mem v g.v) h.b then Ok ()
+          else fail "group %d: B not within V" h.index
+        in
+        let* () =
+          if f ~y:y_prev h.e = g.y then Ok ()
+          else fail "group %d: f_{y_prev}(B ∪ {z}) <> y_i" h.index
+        in
+        each rest
+  in
+  each hiddens

@@ -1,0 +1,104 @@
+(** The Process-Hiding Lemma (Lemma 2) — the paper's key technical
+    contribution, implemented constructively.
+
+    Setting: groups [X_1, ..., X_m] of processes, each poised to apply an
+    operation to the same [w]-bit object; a value domain [Y] with
+    [|Y| <= 2^ell]; for each [y in Y] a function [f_y : 2^X -> Y] giving
+    the object's value after a subset of processes take one step each (in
+    a fixed order); and a crash-discovery budget [delta].
+
+    [solve] produces, per group, a value [y_i], a step set [A_i] and a
+    crash set [V_i ⊇ A_i] such that stepping exactly [A_i] turns the
+    object from [y_{i-1}] into [y_i]. Later — once the adversary knows
+    which processes [D] the crashed-and-recovered [V]-processes would
+    discover — [query] produces, for at least half the groups, an
+    {e alternative} step set [B_i ∪ {z_i}] with [B_i ⊆ V_i] and
+    [z_i ∉ V_i ∪ D] that reaches the {e same} value [y_i]: the two
+    executions are indistinguishable to everyone but [z_i], so [z_i]'s
+    RMR-incurring step is hidden.
+
+    The paper's constants ([k = 4*ell] subgroups of [floor(27*delta*ell)]
+    processes, [s = floor(27*delta*ell)/1.2], [eps = 0.2]) are defaults
+    of {!params}; any parameters passing {!check_params} give the same
+    guarantees. Cost warning: [solve] evaluates [f] on all
+    [subgroup_size^k] tuples of each group — keep parameters small (the
+    paper's constants are feasible for [ell = 1], i.e. binary-valued
+    objects). *)
+
+type params = {
+  ell : int;  (** [|Y| <= 2^ell]. *)
+  delta : float;  (** discovery budget multiplier, [>= 1]. *)
+  k : int;  (** subgroups per group. *)
+  subgroup_size : int;
+  s : float;  (** Lemma 5 parameter. *)
+  eps : float;  (** Lemma 5 parameter, in [0, 1/2). *)
+}
+
+val paper_params : ell:int -> delta:float -> params
+(** The constants used in the paper's proof. *)
+
+val min_group_size : params -> int
+(** [k * subgroup_size]; every group must be at least this large (the
+    paper's [108*delta*ell^2] with default constants). *)
+
+val check_params : params -> (unit, string) result
+(** Validates the inequality chain the proof rests on:
+    [subgroup_size <= s*(1+eps)] (Lemma 5 applicability),
+    [(subgroup_size/s)^k >= 2^ell] (majority-value edge count),
+    and [s*(1+eps)*(1-2eps) - 1 >= 2*delta*(2*(k-1)+1)] (the counting
+    argument giving [|I_D| >= m/2]). *)
+
+type group_solution = {
+  index : int;
+  parts : int array array;  (** the subgroup partition [X_{i,1..k}]. *)
+  a : Partite.edge;  (** [A_i], as a tuple in subgroup order. *)
+  v : Rme_util.Intset.t;  (** [V_i]. *)
+  d : int;  (** special subgroup index (1-based). *)
+  f_edges : Partite.edge list;  (** [F_i] from Lemma 5. *)
+  u : Rme_util.Intset.t;  (** [U_i]. *)
+  y : int;  (** [y_i]. *)
+}
+
+type t = {
+  y0 : int;
+  groups : group_solution array;
+  params : params;
+}
+
+val solve :
+  params ->
+  groups:int array array ->
+  f:(y:int -> Partite.edge -> int) ->
+  y0:int ->
+  t
+(** [f ~y e] is [f_y] applied to the processes of [e] in tuple order.
+    Raises [Invalid_argument] if [check_params] fails or a group is
+    smaller than [min_group_size]. *)
+
+val all_v : t -> Rme_util.Intset.t
+(** [∪_i V_i] — the processes that will crash and run to completion. *)
+
+val y_after : t -> int -> int
+(** [y_after t i] is [y_i] ([y_0] for [i = 0]): the object value after
+    groups [1..i] have stepped their [A]-sets. *)
+
+type hidden = {
+  index : int;  (** group index. *)
+  z : int;  (** the hidden process, [z_i ∉ V_i ∪ D]. *)
+  b : int array;  (** [B_i ⊆ V_i] (tuple order, [z] excluded). *)
+  e : Partite.edge;  (** the full tuple [B_i ∪ {z_i}] in step order. *)
+}
+
+val query : t -> d:Rme_util.Intset.t -> hidden list
+(** The alternative executions for a discovery set [D]. When
+    [|D| <= delta * |all_v t|], at least [m/2] groups are returned. *)
+
+val verify : t -> f:(y:int -> Partite.edge -> int) -> (unit, string) result
+(** Re-check every clause of the lemma's statement on a solution. *)
+
+val verify_query :
+  t ->
+  f:(y:int -> Partite.edge -> int) ->
+  d:Rme_util.Intset.t ->
+  hidden list ->
+  (unit, string) result

@@ -1,0 +1,107 @@
+module Intset = Rme_util.Intset
+
+type outcome = {
+  d : int;
+  hyperedges : Partite.edge list;
+  u : Intset.t;
+  zs : int list array;
+}
+
+let check_preconditions ~s ~eps ~parts ~edges =
+  if s <= 0.0 then invalid_arg "Lemma5: s must be positive";
+  if eps < 0.0 || eps >= 0.5 then invalid_arg "Lemma5: eps must be in [0, 1/2)";
+  let k = Array.length parts in
+  if k = 0 then invalid_arg "Lemma5: no parts";
+  Array.iteri
+    (fun i x ->
+      if float_of_int (Array.length x) > (s *. (1.0 +. eps)) +. 1e-9 then
+        invalid_arg (Printf.sprintf "Lemma5: |X_%d| exceeds s(1+eps)" (i + 1)))
+    parts;
+  let need = s ** float_of_int k in
+  if float_of_int (List.length edges) < need -. 1e-6 then
+    invalid_arg
+      (Printf.sprintf "Lemma5: |E| = %d below s^k = %.2f" (List.length edges)
+         need)
+
+let solve ~s ~eps ~parts ~edges =
+  check_preconditions ~s ~eps ~parts ~edges;
+  let k = Array.length parts in
+  let zs_acc = ref [] in
+  (* Peel parts off the front with Lemma 4 until case (b) fires (or the
+     last part is reached, where all surviving singleton edges form Z_k). *)
+  let rec peel i edges_cur =
+    let parts_rem = Array.sub parts i (k - i) in
+    if i = k - 1 then begin
+      let z = List.sort_uniq compare (List.map (fun e -> e.(0)) edges_cur) in
+      zs_acc := z :: !zs_acc;
+      (k, [||])
+    end
+    else begin
+      match Lemma4.solve ~s ~eps ~parts:parts_rem ~edges:edges_cur with
+      | Lemma4.Union_small { zs; union } ->
+          zs_acc := zs :: !zs_acc;
+          peel (i + 1) union
+      | Lemma4.Intersect_large { zs; witness } ->
+          zs_acc := zs :: !zs_acc;
+          (i + 1, witness)
+    end
+  in
+  let d, e_star = peel 0 edges in
+  let zs = Array.of_list (List.rev !zs_acc) in
+  (* Reconstruct F: edges whose first d components lie in Z_1 .. Z_d and
+     whose remaining components spell out e*. *)
+  let in_z j v = List.exists (fun z -> z = v) zs.(j) in
+  let matches e =
+    let ok_prefix =
+      let rec chk j = j >= d || (in_z j e.(j) && chk (j + 1)) in
+      chk 0
+    in
+    ok_prefix
+    &&
+    let rec chk j = j >= k || (e.(j) = e_star.(j - d) && chk (j + 1)) in
+    chk d
+  in
+  let f = List.filter matches edges in
+  if f = [] then
+    invalid_arg "Lemma5: internal error — reconstructed F is empty";
+  { d; hyperedges = f; u = Partite.vertices_of_edges f; zs }
+
+let verify ~s ~eps ~parts ~edges outcome =
+  let ( let* ) r f = Result.bind r f in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let k = Array.length parts in
+  let* () =
+    if outcome.d >= 1 && outcome.d <= k then Ok ()
+    else fail "d = %d out of range" outcome.d
+  in
+  let* () =
+    if outcome.hyperedges <> [] then Ok () else fail "F is empty"
+  in
+  let edge_set = Hashtbl.create 1024 in
+  List.iter (fun e -> Hashtbl.replace edge_set e ()) edges;
+  let* () =
+    if List.for_all (Hashtbl.mem edge_set) outcome.hyperedges then Ok ()
+    else fail "F contains an edge not in E"
+  in
+  let u = Partite.vertices_of_edges outcome.hyperedges in
+  let* () =
+    if Intset.equal u outcome.u then Ok () else fail "U does not match F"
+  in
+  let inter_size i =
+    Array.fold_left
+      (fun acc v -> if Intset.mem v u then acc + 1 else acc)
+      0 parts.(i)
+  in
+  let* () =
+    let rec chk i =
+      if i >= k then Ok ()
+      else if i = outcome.d - 1 then chk (i + 1)
+      else if inter_size i <= 2 then chk (i + 1)
+      else fail "|U ∩ X_%d| = %d > 2" (i + 1) (inter_size i)
+    in
+    chk 0
+  in
+  let need = s *. (1.0 +. eps) *. (1.0 -. (2.0 *. eps)) in
+  if float_of_int (inter_size (outcome.d - 1)) >= need -. 1e-9 then Ok ()
+  else
+    fail "|U ∩ X_d| = %d below %.2f" (inter_size (outcome.d - 1)) need

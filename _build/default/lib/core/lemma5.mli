@@ -1,0 +1,30 @@
+(** Lemma 5 — iterated application of Lemma 4, constructively.
+
+    Given [H = (X_1, ..., X_k, E)] with [|X_i| <= s(1+eps)] for all [i]
+    and [|E| >= s^k], produces a set [F] of hyperedges and an index [d]
+    such that [U = ∪_{e in F} e] satisfies
+
+    (a) [|U ∩ X_i| <= 2] for all [i ≠ d], and
+    (b) [|U ∩ X_d| >= s(1+eps)(1-2eps)].
+
+    The Process-Hiding Lemma draws its [A_i] and [V_i] from this [F]: the
+    many [X_d]-vertices of [U] are the candidate hidden processes, while
+    every other part contributes at most two processes to the crash set. *)
+
+type outcome = {
+  d : int;  (** 1-based index of the special part. *)
+  hyperedges : Partite.edge list;  (** [F], full arity [k], non-empty. *)
+  u : Rme_util.Intset.t;  (** [∪_{e in F} e]. *)
+  zs : int list array;  (** [Z_1 .. Z_d] of the recursive construction. *)
+}
+
+val solve : s:float -> eps:float -> parts:int array array -> edges:Partite.edge list -> outcome
+(** Raises [Invalid_argument] when preconditions fail. *)
+
+val verify :
+  s:float ->
+  eps:float ->
+  parts:int array array ->
+  edges:Partite.edge list ->
+  outcome ->
+  (unit, string) result

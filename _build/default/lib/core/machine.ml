@@ -1,0 +1,201 @@
+module Memory = Rme_memory.Memory
+module Op = Rme_memory.Op
+module Rmr = Rme_memory.Rmr
+module Prog = Rme_sim.Prog
+module Lock_intf = Rme_sim.Lock_intf
+
+type phase = In_entry | In_cs | In_exit | In_recovery | Completed
+
+type step_info = {
+  loc : Memory.loc;
+  op : Op.t;
+  old_value : int;
+  new_value : int;
+  rmr : bool;
+}
+
+type prog_state =
+  | P_entry of unit Prog.t
+  | P_cs of unit Prog.t
+  | P_exit of unit Prog.t
+  | P_recovery of Lock_intf.resume Prog.t
+  | P_done
+
+type proc = {
+  pid : int;
+  mutable state : prog_state;
+  mutable crash_count : int;
+  mutable cs_entries : int;
+}
+
+type t = {
+  memory : Memory.t;
+  rmr : Rmr.t;
+  lock : Lock_intf.instance;
+  cs_loc : Memory.loc;
+  n : int;
+  procs : proc array;
+}
+
+let create ~n ~width ~model factory =
+  if not (Lock_intf.supports factory ~n ~width) then
+    invalid_arg
+      (Printf.sprintf "Machine.create: lock %s needs width >= %d for n = %d"
+         factory.Lock_intf.name
+         (factory.Lock_intf.min_width ~n)
+         n);
+  let memory = Memory.create ~width in
+  let lock = factory.Lock_intf.make memory ~n in
+  let cs_loc = Memory.alloc memory ~name:"cs-cell" ~init:0 in
+  let rmr = Rmr.create model ~n in
+  let procs =
+    Array.init n (fun pid ->
+        {
+          pid;
+          state = P_entry (lock.Lock_intf.entry ~pid);
+          crash_count = 0;
+          cs_entries = 0;
+        })
+  in
+  { memory; rmr; lock; cs_loc; n; procs }
+
+let memory t = t.memory
+let rmr t = t.rmr
+let n t = t.n
+
+let cs_program t ~pid = Prog.write t.cs_loc (pid land 1)
+
+(* Resolve [Return] transitions until the process is poised on a step or
+   done. The CS program always contains a step, so this terminates. *)
+let rec settle t p =
+  match p.state with
+  | P_done -> ()
+  | P_entry (Prog.Return ()) ->
+      p.cs_entries <- p.cs_entries + 1;
+      p.state <- P_cs (cs_program t ~pid:p.pid);
+      settle t p
+  | P_cs (Prog.Return ()) ->
+      p.state <- P_exit (t.lock.Lock_intf.exit ~pid:p.pid);
+      settle t p
+  | P_exit (Prog.Return ()) -> p.state <- P_done
+  | P_recovery (Prog.Return resume) -> begin
+      (match resume with
+      | Lock_intf.Resume_entry ->
+          p.state <- P_entry (t.lock.Lock_intf.entry ~pid:p.pid)
+      | Lock_intf.In_cs ->
+          p.cs_entries <- p.cs_entries + 1;
+          p.state <- P_cs (cs_program t ~pid:p.pid)
+      | Lock_intf.Resume_exit ->
+          p.state <- P_exit (t.lock.Lock_intf.exit ~pid:p.pid)
+      | Lock_intf.Passage_done -> p.state <- P_done);
+      settle t p
+    end
+  | P_entry (Prog.Step _) | P_cs (Prog.Step _) | P_exit (Prog.Step _)
+  | P_recovery (Prog.Step _) ->
+      ()
+
+let phase t ~pid =
+  let p = t.procs.(pid) in
+  settle t p;
+  match p.state with
+  | P_entry _ -> In_entry
+  | P_cs _ -> In_cs
+  | P_exit _ -> In_exit
+  | P_recovery _ -> In_recovery
+  | P_done -> Completed
+
+let completed t ~pid = phase t ~pid = Completed
+
+let peek t ~pid =
+  let p = t.procs.(pid) in
+  settle t p;
+  match p.state with
+  | P_done -> None
+  | P_entry pr -> Prog.peek pr
+  | P_cs pr -> Prog.peek pr
+  | P_exit pr -> Prog.peek pr
+  | P_recovery pr -> Prog.peek pr
+
+let poised_rmr t ~pid =
+  match peek t ~pid with
+  | None -> false
+  | Some (loc, op) ->
+      Rmr.would_incur t.rmr ~pid ~loc ~owner:(Memory.owner t.memory loc)
+        ~is_read:(Op.is_read op)
+
+let perform t ~pid loc op =
+  let old = Memory.apply t.memory ~pid loc op in
+  let rmr =
+    Rmr.record t.rmr ~pid ~loc ~owner:(Memory.owner t.memory loc)
+      ~is_read:(Op.is_read op)
+  in
+  { loc; op; old_value = old; new_value = Memory.value t.memory loc; rmr }
+
+let step t ~pid =
+  let p = t.procs.(pid) in
+  settle t p;
+  match p.state with
+  | P_done -> invalid_arg "Machine.step: process already completed"
+  | P_entry (Prog.Step (loc, op, k)) ->
+      let info = perform t ~pid loc op in
+      p.state <- P_entry (k info.old_value);
+      info
+  | P_cs (Prog.Step (loc, op, k)) ->
+      let info = perform t ~pid loc op in
+      p.state <- P_cs (k info.old_value);
+      info
+  | P_exit (Prog.Step (loc, op, k)) ->
+      let info = perform t ~pid loc op in
+      p.state <- P_exit (k info.old_value);
+      info
+  | P_recovery (Prog.Step (loc, op, k)) ->
+      let info = perform t ~pid loc op in
+      p.state <- P_recovery (k info.old_value);
+      info
+  | P_entry (Prog.Return _)
+  | P_cs (Prog.Return _)
+  | P_exit (Prog.Return _)
+  | P_recovery (Prog.Return _) ->
+      assert false (* settled above *)
+
+let crash t ~pid =
+  let p = t.procs.(pid) in
+  (match p.state with
+  | P_done -> invalid_arg "Machine.crash: process already completed"
+  | P_entry _ | P_cs _ | P_exit _ | P_recovery _ -> ());
+  p.crash_count <- p.crash_count + 1;
+  Rmr.on_crash t.rmr ~pid;
+  p.state <- P_recovery (t.lock.Lock_intf.recover ~pid)
+
+let run_while_local t ~pid ~cap =
+  let rec loop taken =
+    if taken >= cap then taken
+    else begin
+      match peek t ~pid with
+      | None -> taken
+      | Some _ ->
+          if poised_rmr t ~pid then taken
+          else begin
+            ignore (step t ~pid);
+            loop (taken + 1)
+          end
+    end
+  in
+  loop 0
+
+let run_to_completion t ~pid ~cap ~on_step =
+  let rec loop taken =
+    if completed t ~pid then true
+    else if taken >= cap then false
+    else begin
+      on_step (step t ~pid);
+      loop (taken + 1)
+    end
+  in
+  loop 0
+
+let crashes t ~pid = t.procs.(pid).crash_count
+
+let cs_entries t ~pid = t.procs.(pid).cs_entries
+
+let total_rmrs t ~pid = Rmr.total t.rmr ~pid

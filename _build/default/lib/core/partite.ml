@@ -1,0 +1,85 @@
+module Intset = Rme_util.Intset
+
+type edge = int array
+
+type t = { parts : int array array; edges : edge list }
+
+let validate_edge parts e =
+  if Array.length e <> Array.length parts then
+    invalid_arg "Partite: edge arity differs from the number of parts";
+  Array.iteri
+    (fun i v ->
+      if not (Array.exists (fun x -> x = v) parts.(i)) then
+        invalid_arg
+          (Printf.sprintf "Partite: vertex %d is not in part %d" v i))
+    e
+
+let create ~parts ~edges =
+  List.iter (validate_edge parts) edges;
+  { parts; edges }
+
+let complete ~parts =
+  let k = Array.length parts in
+  let total =
+    Array.fold_left (fun acc p -> acc * Array.length p) 1 parts
+  in
+  if total > 1 lsl 30 then
+    invalid_arg "Partite.complete: too many edges (over 2^30)";
+  let acc = ref [] in
+  let e = Array.make k 0 in
+  let rec fill i =
+    if i = k then acc := Array.copy e :: !acc
+    else
+      Array.iter
+        (fun v ->
+          e.(i) <- v;
+          fill (i + 1))
+        parts.(i)
+  in
+  if k = 0 then { parts; edges = [] }
+  else begin
+    fill 0;
+    { parts; edges = List.rev !acc }
+  end
+
+let num_parts t = Array.length t.parts
+
+let num_edges t = List.length t.edges
+
+let vertices_of_edges edges =
+  List.fold_left
+    (fun acc e -> Array.fold_left (fun acc v -> Intset.add v acc) acc e)
+    Intset.empty edges
+
+let sigma_z ~part ~z edges = List.filter (fun e -> e.(part) = z) edges
+
+let tail_key ~part e =
+  let k = Array.length e in
+  Array.init (k - 1) (fun i -> if i < part then e.(i) else e.(i + 1))
+
+let pi_z ~part ~z edges =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun e ->
+      if e.(part) <> z then None
+      else begin
+        let key = tail_key ~part e in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some key
+        end
+      end)
+    edges
+
+let filter_by_value t ~f ~value = List.filter (fun e -> f e = value) t.edges
+
+let group_by_value edges ~f =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let y = f e in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl y) in
+      Hashtbl.replace tbl y (e :: prev))
+    edges;
+  tbl

@@ -1,0 +1,140 @@
+module Intset = Rme_util.Intset
+module Op = Rme_memory.Op
+
+type context = {
+  n : int;
+  width : int;
+  model : Rme_memory.Rmr.model;
+  factory : Rme_sim.Lock_intf.factory;
+  local_cap : int;
+  completion_cap : int;
+}
+
+type directive =
+  | D_local of int
+  | D_step of { pid : int; hidden_as : int list }
+  | D_crash of int
+  | D_complete of int
+
+type record =
+  | R_local of int
+  | R_step of { loc : int; old_value : int }
+  | R_crash
+  | R_complete of int
+
+let pid_of_directive = function
+  | D_local p | D_step { pid = p; _ } | D_crash p | D_complete p -> p
+
+exception Diverged of string
+
+let diverged fmt = Printf.ksprintf (fun m -> raise (Diverged m)) fmt
+
+type play = {
+  m : Machine.t;
+  visible : (int, Intset.t) Hashtbl.t;
+  mutable checked : int;
+}
+
+let fresh_play ctx =
+  {
+    m = Machine.create ~n:ctx.n ~width:ctx.width ~model:ctx.model ctx.factory;
+    visible = Hashtbl.create 256;
+    checked = 0;
+  }
+
+let visible_at play loc =
+  Option.value ~default:Intset.empty (Hashtbl.find_opt play.visible loc)
+
+let update_visible play ~pid ~loc ~op ~old_value =
+  match op with
+  | Op.Read -> ()
+  | Op.Write _ | Op.Fas _ -> Hashtbl.replace play.visible loc (Intset.singleton pid)
+  | Op.Cas { expected; _ } ->
+      if old_value = expected then
+        Hashtbl.replace play.visible loc (Intset.singleton pid)
+  | Op.Faa _ | Op.Rmw _ ->
+      Hashtbl.replace play.visible loc (Intset.add pid (visible_at play loc))
+
+let do_local play ~pid =
+  let info = Machine.step play.m ~pid in
+  if info.Machine.rmr then
+    diverged "local step of p%d incurred an RMR" pid;
+  update_visible play ~pid ~loc:info.Machine.loc ~op:info.Machine.op
+    ~old_value:info.Machine.old_value;
+  info
+
+let do_step play ~pid ~hidden_as =
+  let info = Machine.step play.m ~pid in
+  (match hidden_as with
+  | [] ->
+      update_visible play ~pid ~loc:info.Machine.loc ~op:info.Machine.op
+        ~old_value:info.Machine.old_value
+  | v ->
+      (* Officially, the crash-bound A-processes produced this value. *)
+      Hashtbl.replace play.visible info.Machine.loc
+        (List.fold_left (fun acc p -> Intset.add p acc) Intset.empty v));
+  info
+
+let do_complete play ctx ~pid ~on_step =
+  let count = ref 0 in
+  let ok =
+    Machine.run_to_completion play.m ~pid ~cap:ctx.completion_cap
+      ~on_step:(fun info ->
+        incr count;
+        update_visible play ~pid ~loc:info.Machine.loc ~op:info.Machine.op
+          ~old_value:info.Machine.old_value;
+        on_step info)
+  in
+  (ok, !count)
+
+let exec_replay play ctx ?(on_event = fun ~pid:_ _ -> ()) (d, r) =
+  match (d, r) with
+  | D_local pid, R_local expected ->
+      let taken = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match Machine.peek play.m ~pid with
+        | None -> continue := false
+        | Some _ ->
+            if Machine.poised_rmr play.m ~pid || !taken >= expected then
+              continue := false
+            else begin
+              let info = do_local play ~pid in
+              on_event ~pid info;
+              incr taken
+            end
+      done;
+      if !taken <> expected then
+        diverged "replay: p%d took %d local steps, expected %d" pid !taken
+          expected;
+      play.checked <- play.checked + 1
+  | D_step { pid; hidden_as }, R_step { loc; old_value } ->
+      let info = do_step play ~pid ~hidden_as in
+      on_event ~pid info;
+      if info.Machine.loc <> loc || info.Machine.old_value <> old_value then
+        diverged "replay: p%d observed (R%d, %d), expected (R%d, %d)" pid
+          info.Machine.loc info.Machine.old_value loc old_value;
+      play.checked <- play.checked + 1
+  | D_crash pid, R_crash -> Machine.crash play.m ~pid
+  | D_complete pid, R_complete expected ->
+      let ok, count =
+        do_complete play ctx ~pid ~on_step:(fun info -> on_event ~pid info)
+      in
+      if not ok then diverged "replay: p%d did not complete" pid;
+      if count <> expected then
+        diverged "replay: p%d completed in %d steps, expected %d" pid count
+          expected;
+      play.checked <- play.checked + 1
+  | D_local _, (R_step _ | R_crash | R_complete _)
+  | D_step _, (R_local _ | R_crash | R_complete _)
+  | D_crash _, (R_local _ | R_step _ | R_complete _)
+  | D_complete _, (R_local _ | R_step _ | R_crash) ->
+      diverged "replay: directive/record mismatch"
+
+let replay ctx ?(keep = fun _ -> true) ?on_event directives =
+  let play = fresh_play ctx in
+  Array.iter
+    (fun dr ->
+      if keep (pid_of_directive (fst dr)) then exec_replay play ctx ?on_event dr)
+    directives;
+  play

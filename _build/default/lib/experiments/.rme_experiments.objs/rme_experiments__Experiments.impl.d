@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array List Option Printf Rme_core Rme_locks Rme_memory Rme_sim Rme_util

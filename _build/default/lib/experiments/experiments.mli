@@ -1,0 +1,60 @@
+(** The experiment harness: one function per reproduced table/figure.
+
+    The paper is a theory paper; each "experiment" regenerates the
+    quantitative shape of one of its claims (see DESIGN.md §4 and
+    EXPERIMENTS.md for the paper-vs-measured record):
+
+    - E1: RMR complexity landscape of the lock algorithms (§1.2's
+      related-work comparison, measured).
+    - E2: Theorem 1 tightness — Katzan–Morrison passage RMRs against
+      [ceil(log_w n)] across word sizes.
+    - E3: Theorem 1 lower bound — rounds the adversary construction
+      forces, against the [Ω(min(log_w n, log n/log log n))] formula.
+    - E4: Process-Hiding Lemma — solved instances with the paper's
+      constants, and the [|I_D| >= m/2] margin under random discovery
+      sets.
+    - E5: crash-recovery cost — per-passage RMRs as the crash rate grows.
+    - E6: CC vs DSM — the bounds hold in both models.
+    - E7: the [min(log_w n, log n/log log n)] crossover at [w ~ log n].
+
+    Every function is deterministic given [seed] and returns printable
+    tables. *)
+
+type outcome = Rme_util.Table.t list
+
+val e4_families : (string * (y:int -> Rme_core.Partite.edge -> int)) list
+(** The operation families experiment E4 exercises the Process-Hiding
+    Lemma with, as [f_y] functions on step tuples. *)
+
+val e1_lock_landscape : ?seed:int -> ?width:int -> ?ns:int list -> unit -> outcome
+val e2_word_size_tradeoff : ?seed:int -> ?ns:int list -> ?ws:int list -> unit -> outcome
+val e3_adversary_bound : ?ns:int list -> ?ws:int list -> unit -> outcome
+val e4_hiding_lemma : ?seed:int -> ?m:int -> ?trials:int -> unit -> outcome
+val e5_crash_cost : ?seed:int -> ?n:int -> ?probs:float list -> unit -> outcome
+val e6_model_comparison : ?seed:int -> ?n:int -> unit -> outcome
+val e7_crossover : ?n:int -> ?ws:int list -> unit -> outcome
+
+val e8_system_wide : ?seed:int -> ?ns:int list -> unit -> outcome
+(** The system-wide crash separation: epoch-MCS stays O(1) per passage
+    under simultaneous crashes (paper conclusion; Golab–Hendler [11]). *)
+
+val a1_arity_ablation : ?seed:int -> ?n:int -> ?arities:int list -> unit -> outcome
+(** Ablation: forcing the KM tree arity below the word size. *)
+
+val a2_k_ablation : ?n:int -> ?w:int -> ?ks:int list -> unit -> outcome
+(** Ablation: the adversary's contention threshold (the paper's w^d). *)
+
+val a3_adaptivity : ?n:int -> ?ws:int list -> unit -> outcome
+(** Ablation: solo vs contended passage cost of the KM core (the full
+    algorithm of [19] is additionally contention-adaptive; ours is
+    not — a documented simplification). *)
+
+val f1_fairness : ?seed:int -> ?n:int -> ?sp:int -> unit -> outcome
+(** Fairness: worst bypass count per lock (queue locks are FIFO; TAS and
+    tree locks are not). *)
+
+val all : (string * string * (unit -> outcome)) list
+(** [(id, description, run)] for every experiment, in order. *)
+
+val run_one : string -> outcome option
+(** Run an experiment by id ("e1" .. "e7"). *)

@@ -1,0 +1,1 @@
+lib/locks/clh.ml: Array Printf Rme_memory Rme_sim Rme_util

@@ -1,0 +1,1 @@
+lib/locks/clh.mli: Rme_sim

@@ -1,0 +1,1 @@
+lib/locks/epoch_mcs.ml: Array Printf Rme_memory Rme_sim Rme_util

@@ -1,0 +1,1 @@
+lib/locks/epoch_mcs.mli: Rme_sim

@@ -1,0 +1,1 @@
+lib/locks/katzan_morrison.ml: Array Printf Rme_memory Rme_sim Rme_util

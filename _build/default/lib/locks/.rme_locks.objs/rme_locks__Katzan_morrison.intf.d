@@ -1,0 +1,1 @@
+lib/locks/katzan_morrison.mli: Rme_sim

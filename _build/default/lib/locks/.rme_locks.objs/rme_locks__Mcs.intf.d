@@ -1,0 +1,1 @@
+lib/locks/mcs.mli: Rme_sim

@@ -1,0 +1,1 @@
+lib/locks/peterson_tree.ml: Array Printf Rme_memory Rme_sim Tree

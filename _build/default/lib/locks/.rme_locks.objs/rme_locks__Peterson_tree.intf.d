@@ -1,0 +1,1 @@
+lib/locks/peterson_tree.mli: Rme_sim

@@ -1,0 +1,1 @@
+lib/locks/rcas.mli: Rme_sim

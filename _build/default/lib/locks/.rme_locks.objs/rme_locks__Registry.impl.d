@@ -1,0 +1,1 @@
+lib/locks/registry.ml: Clh Epoch_mcs Katzan_morrison List Mcs Peterson_tree Rcas Rme_sim Rstamp Rtournament Sublog Tas Ticket

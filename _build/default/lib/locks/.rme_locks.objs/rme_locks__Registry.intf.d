@@ -1,0 +1,1 @@
+lib/locks/registry.mli: Rme_sim

@@ -1,0 +1,1 @@
+lib/locks/rstamp.mli: Rme_sim

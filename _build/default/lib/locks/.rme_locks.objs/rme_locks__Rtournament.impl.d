@@ -1,0 +1,1 @@
+lib/locks/rtournament.ml: Array Printf Rme_memory Rme_sim Tree

@@ -1,0 +1,1 @@
+lib/locks/rtournament.mli: Rme_sim

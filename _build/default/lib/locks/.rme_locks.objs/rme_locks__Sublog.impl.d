@@ -1,0 +1,1 @@
+lib/locks/sublog.ml: Float Katzan_morrison Rme_sim

@@ -1,0 +1,1 @@
+lib/locks/sublog.mli: Rme_sim

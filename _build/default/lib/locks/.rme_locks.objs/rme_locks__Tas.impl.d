@@ -1,0 +1,1 @@
+lib/locks/tas.ml: Rme_memory Rme_sim

@@ -1,0 +1,1 @@
+lib/locks/ticket.ml: Array Rme_memory Rme_sim Rme_util

@@ -1,0 +1,1 @@
+lib/locks/tree.ml: Array List Printf

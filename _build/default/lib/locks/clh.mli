@@ -1,0 +1,18 @@
+(** CLH queue lock (Craig [6]; Magnusson, Landin & Hagersten [20]).
+
+    The other classic [O(1)]-RMR queue lock the paper cites alongside
+    MCS: waiters form an implicit queue by fetch-and-storing a pointer to
+    their own "request" cell into the tail and spinning on their
+    predecessor's cell. Each passage recycles the predecessor's cell (the
+    standard CLH node-rotation), so the lock needs [2n + 1] cells for [n]
+    processes.
+
+    Under CC the spin is cached and each passage costs O(1) RMRs. Under
+    DSM the spin target is the {e predecessor's} cell — not the waiting
+    process's own segment — which is precisely why the literature pairs
+    CLH with CC and MCS with DSM; the E1/E6 tables show the difference.
+
+    Not recoverable: a crash loses the local pointers to the implicit
+    queue. *)
+
+val factory : Rme_sim.Lock_intf.factory

@@ -1,0 +1,33 @@
+(** Epoch-based recoverable MCS lock for the {e system-wide} crash model
+    — Golab–Hendler-style [11], with their assumed system support.
+
+    The paper's conclusion points out that its lower bound "inherently
+    relies on individual process crashes" and cannot extend to the
+    system-wide failure model, where all processes crash simultaneously:
+    there, constant-RMR RME is possible. This lock demonstrates that
+    separation inside the simulator (experiment E8).
+
+    Model and assumption: crashes only ever hit {e everyone at once}
+    (use the harness's [System_crash_script]/[System_crash_prob]
+    policies), and the system increments an epoch counter with each
+    system crash — exactly the support [11] assumes; the harness
+    provides it through {!Rme_sim.Lock_intf.instance}'s [system_epoch]
+    field.
+
+    Structure: a plain MCS queue for O(1)-RMR handoff, plus
+    - an [owner] word — the single source of truth for who may be in the
+      CS (a queue winner additionally waits for [owner = 0] before
+      claiming it, which bridges across crashes);
+    - per-epoch queue reconstruction: the first process to act after a
+      crash (a recoverer, or a fresh entrant arriving from the remainder)
+      wins a CAS election and resets the queue, everyone else gates on
+      [reset_done = epoch]. Because all processes crash {e together},
+      there are no stale delayed writes from the old epoch — the very
+      property the individual-crash model lacks, and the reason this
+      construction cannot beat Theorem 1 there.
+
+    Per passage: O(1) RMRs in the CC model (MCS handoff + a constant
+    number of gate/owner accesses), regardless of how many system
+    crashes occur. *)
+
+val factory : Rme_sim.Lock_intf.factory

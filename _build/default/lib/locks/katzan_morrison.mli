@@ -1,0 +1,43 @@
+(** Katzan–Morrison-style recoverable lock from [w]-bit fetch-and-add —
+    the matching upper bound of Theorem 1.
+
+    The algorithm of [19] achieves [O(log_w n)] RMRs per passage by
+    arbitrating through a [b]-ary tournament tree with [b = Θ(w)]: at each
+    node, up to [b] contenders announce themselves by atomically setting
+    their private bit of a [w]-bit mask with [FAA(2^slot)], so a single
+    RMR publishes a contender {e and} reveals the whole competition — the
+    very capability the paper's Process-Hiding Lemma shows cannot be
+    hidden once words are wide. With arity [w] the tree has [ceil(log_w n)]
+    levels and each level costs [O(1)] RMRs (plus [ceil(log2 n / w)] for
+    spelling out a process ID across words when [w < log2 n]; the paper
+    notes that all known RME algorithms implicitly assume [w = Ω(log n)]).
+
+    This implementation is the recoverable [O(log_w n)] core of [19]
+    (abortability and adaptivity are out of scope; see DESIGN.md). Every
+    piece of cross-step state is either re-derivable from shared memory or
+    explicitly persisted before the action it describes:
+
+    - {b mask} (per node): bit [s] is set exactly while slot [s] is
+      occupied. Strict alternation holds because slot occupancy is
+      serialized by ownership of the child node and release is top-down,
+      so the guarded [FAA(±2^s)] never carries into foreign bits.
+    - {b owner} (per node): [0] when free, [s+1] when the occupant of slot
+      [s] owns the node. Single-word, hence atomically updatable; the
+      ground truth a woken waiter checks, which makes stale doorbells from
+      crashed releasers harmless.
+    - {b succ} (per process and level): the committed successor choice of
+      an in-progress release, persisted {e before} the ownership transfer
+      so that a crashed releaser re-executes the same handoff.
+    - {b xdone} (per process and level): release-completion marker, reset
+      during the next registration.
+
+    Recovery inspects a per-process status word and re-runs the
+    (idempotent) entry or exit protocol; ownership of each tree node is
+    re-derived bottom-up exactly as in {!Rtournament}. *)
+
+val factory : Rme_sim.Lock_intf.factory
+
+val factory_with_arity : int -> Rme_sim.Lock_intf.factory
+(** [factory_with_arity b] forces tree arity [b >= 2] (still requires
+    [b <= w]); the default picks [b = min w n]. Used by the word-size
+    sweep of experiment E2 and the ablation benches. *)

@@ -1,0 +1,69 @@
+module Memory = Rme_memory.Memory
+module Bitword = Rme_util.Bitword
+module Lock_intf = Rme_sim.Lock_intf
+module Prog = Rme_sim.Prog
+open Prog.Infix
+
+(* Queue-node pointers are encoded as pid + 1, with 0 meaning nil. *)
+let nil = 0
+
+type t = {
+  tail : Memory.loc;
+  locked : Memory.loc array; (* locked.(p): p spins here, in p's segment *)
+  next : Memory.loc array; (* next.(p): successor pointer of p's node *)
+}
+
+let make memory ~n =
+  let t =
+    {
+      tail = Memory.alloc memory ~name:"mcs.tail" ~init:nil;
+      locked =
+        Array.init n (fun p ->
+            Memory.alloc memory ~owner:p ~name:(Printf.sprintf "mcs.locked[%d]" p)
+              ~init:0);
+      next =
+        Array.init n (fun p ->
+            Memory.alloc memory ~owner:p ~name:(Printf.sprintf "mcs.next[%d]" p)
+              ~init:nil);
+    }
+  in
+  let entry ~pid =
+    let me = pid + 1 in
+    let* () = Prog.write t.next.(pid) nil in
+    let* () = Prog.write t.locked.(pid) 1 in
+    let* pred = Prog.fas t.tail me in
+    if pred = nil then Prog.return ()
+    else begin
+      let* () = Prog.write t.next.(pred - 1) me in
+      let* _ = Prog.await t.locked.(pid) (fun v -> v = 0) in
+      Prog.return ()
+    end
+  in
+  let exit ~pid =
+    let me = pid + 1 in
+    let* succ = Prog.read t.next.(pid) in
+    if succ <> nil then Prog.write t.locked.(succ - 1) 0
+    else begin
+      let* swung = Prog.cas t.tail ~expected:me ~desired:nil in
+      if swung then Prog.return ()
+      else begin
+        (* A successor swapped the tail but has not linked yet. *)
+        let* succ = Prog.await t.next.(pid) (fun v -> v <> nil) in
+        Prog.write t.locked.(succ - 1) 0
+      end
+    end
+  in
+  {
+    Lock_intf.entry;
+    exit;
+    recover = (fun ~pid:_ -> Prog.return Lock_intf.Resume_entry);
+    system_epoch = None;
+  }
+
+let factory =
+  {
+    Lock_intf.name = "mcs";
+    recoverable = false;
+    min_width = (fun ~n -> Bitword.bits_needed (n + 1));
+    make;
+  }

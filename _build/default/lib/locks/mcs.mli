@@ -1,0 +1,14 @@
+(** MCS queue lock (Mellor-Crummey & Scott [21]).
+
+    The classic [O(1)]-RMR conventional lock in both CC and DSM: each
+    waiter spins on a flag in its own queue node (allocated in its own
+    memory segment, so the spin is local under DSM too) and the releaser
+    hands the lock directly to its successor. Built from fetch-and-store
+    on the queue tail plus one compare-and-swap on release.
+
+    This is the algorithm whose [O(1)] bound the paper contrasts with the
+    recoverable setting: a crash between the tail swap and the
+    predecessor-link write loses the queue structure, so MCS is not
+    recoverable. *)
+
+val factory : Rme_sim.Lock_intf.factory

@@ -1,0 +1,80 @@
+module Memory = Rme_memory.Memory
+module Lock_intf = Rme_sim.Lock_intf
+module Prog = Rme_sim.Prog
+open Prog.Infix
+
+type t = {
+  flag : Memory.loc array array; (* flag.(node).(side) *)
+  victim : Memory.loc array; (* victim.(node) *)
+}
+
+let make memory ~n =
+  let nodes = Tree.num_nodes ~n in
+  let t =
+    {
+      flag =
+        Array.init (nodes + 1) (fun node ->
+            Array.init 2 (fun side ->
+                Memory.alloc memory
+                  ~name:(Printf.sprintf "peterson.flag[%d][%d]" node side)
+                  ~init:0));
+      victim =
+        Array.init (nodes + 1) (fun node ->
+            Memory.alloc memory ~name:(Printf.sprintf "peterson.victim[%d]" node)
+              ~init:0);
+    }
+  in
+  (* Two-process Peterson acquisition at one node. The wait tests two
+     locations, so it is written as an explicit read loop rather than
+     [Prog.await]. *)
+  let acquire_node node side =
+    let* () = Prog.write t.flag.(node).(side) 1 in
+    let* () = Prog.write t.victim.(node) side in
+    let rec wait () =
+      let* other_flag = Prog.read t.flag.(node).(1 - side) in
+      if other_flag = 0 then Prog.return ()
+      else begin
+        let* v = Prog.read t.victim.(node) in
+        if v <> side then Prog.return () else wait ()
+      end
+    in
+    wait ()
+  in
+  let entry ~pid =
+    let path = Tree.path ~n ~pid in
+    let rec climb i =
+      if i >= Array.length path then Prog.return ()
+      else begin
+        let node, side = path.(i) in
+        let* () = acquire_node node side in
+        climb (i + 1)
+      end
+    in
+    climb 0
+  in
+  let exit ~pid =
+    let path = Tree.path ~n ~pid in
+    let rec descend i =
+      if i < 0 then Prog.return ()
+      else begin
+        let node, side = path.(i) in
+        let* () = Prog.write t.flag.(node).(side) 0 in
+        descend (i - 1)
+      end
+    in
+    descend (Array.length path - 1)
+  in
+  {
+    Lock_intf.entry;
+    exit;
+    recover = (fun ~pid:_ -> Prog.return Lock_intf.Resume_entry);
+    system_epoch = None;
+  }
+
+let factory =
+  {
+    Lock_intf.name = "peterson-tree";
+    recoverable = false;
+    min_width = (fun ~n:_ -> 1);
+    make;
+  }

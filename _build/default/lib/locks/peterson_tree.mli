@@ -1,0 +1,12 @@
+(** Tournament tree of two-process Peterson locks (read/write only).
+
+    The classic way to get [O(log n)]-RMR mutual exclusion from atomic
+    reads and writes in the CC model (in the lineage of Yang & Anderson
+    [23]): each internal tree node is a two-process Peterson lock; a
+    process wins its leaf-to-root path to enter, and releases top-down on
+    exit. Uses only 1-bit locations, so it works at any word size.
+
+    Not recoverable: a crash while holding node locks wedges the subtree.
+    Serves as the read/write [O(log n)] baseline of experiment E1. *)
+
+val factory : Rme_sim.Lock_intf.factory

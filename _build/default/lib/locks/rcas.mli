@@ -1,0 +1,22 @@
+(** Recoverable CAS lock — the [O(n)]-flavoured RME baseline, in the
+    spirit of Golab and Ramaraju's first recoverable mutex [12].
+
+    The lock word holds the owner's ID (plus one, 0 = free) and is
+    acquired by CAS, so ownership is always re-derivable from shared
+    memory after a crash. A per-process persistent status word sequences
+    the release so that recovery can always tell apart "still trying",
+    "holding", "mid-release" and "done" — the crash-consistency pattern
+    that every recoverable lock in this library follows:
+
+    status 0 = no passage in progress;
+    status 1 = super-passage in progress (set before the first acquire
+    attempt);
+    status 2 = critical section complete, release pending (set before the
+    lock word is cleared).
+
+    RMR cost per passage is unbounded in theory (every handoff invalidates
+    all spinning waiters under CC, and spins are remote under DSM), which
+    is exactly why it plays the "first RME algorithm, O(n)" row of
+    experiment E1. *)
+
+val factory : Rme_sim.Lock_intf.factory

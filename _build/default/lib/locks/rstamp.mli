@@ -1,0 +1,19 @@
+(** Recoverable stamp lock — built on an {e arbitrary} read-modify-write
+    operation rather than any named primitive.
+
+    Semantically a recoverable acquire-by-claim lock (like {!Rcas}), but
+    the claim and release are opaque [Op.Rmw] transition functions:
+
+    - [claim]: [v -> if v = 0 then pid + 1 else v]
+    - [release]: [v -> if v = pid + 1 then 0 else v]
+
+    Its purpose in the library is the paper's headline: Theorem 1 is the
+    first RMR lower bound that restricts {e no} operation type, only the
+    word size. The simulator's accounting, the visibility tracking and —
+    most importantly — the lower-bound adversary's Process-Hiding search
+    must treat these operations as black-box functions on [w]-bit values
+    (no FAS/CAS special-casing applies), and the bound must still be
+    forced. The adversary test-suite runs this lock through the full
+    construction. *)
+
+val factory : Rme_sim.Lock_intf.factory

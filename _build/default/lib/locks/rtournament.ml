@@ -1,0 +1,99 @@
+module Memory = Rme_memory.Memory
+module Lock_intf = Rme_sim.Lock_intf
+module Prog = Rme_sim.Prog
+open Prog.Infix
+
+type t = {
+  node : Memory.loc array; (* node.(i): 0 free, side + 1 held; i in 1..num *)
+  status : Memory.loc array; (* status.(p) in p's segment *)
+}
+
+let st_idle = 0
+let st_trying = 1
+let st_releasing = 2
+
+let make memory ~n =
+  let num = Tree.num_nodes ~n in
+  let t =
+    {
+      node =
+        Array.init (num + 1) (fun i ->
+            Memory.alloc memory ~name:(Printf.sprintf "rtour.node[%d]" i) ~init:0);
+      status =
+        Array.init n (fun p ->
+            Memory.alloc memory ~owner:p ~name:(Printf.sprintf "rtour.status[%d]" p)
+              ~init:st_idle);
+    }
+  in
+  (* Index (exclusive) of the top of the contiguous held segment of
+     [path]: [held_top path] returns the smallest [h] such that levels
+     [0 .. h-1] are held and level [h] is not (so [h = length] means the
+     whole path, hence the lock, is held). *)
+  let held_top path =
+    let len = Array.length path in
+    let rec scan h =
+      if h >= len then Prog.return len
+      else begin
+        let node, side = path.(h) in
+        let* v = Prog.read t.node.(node) in
+        if v = side + 1 then scan (h + 1) else Prog.return h
+      end
+    in
+    scan 0
+  in
+  let entry ~pid =
+    let path = Tree.path ~n ~pid in
+    let len = Array.length path in
+    let* () = Prog.write t.status.(pid) st_trying in
+    let rec climb h =
+      if h >= len then Prog.return ()
+      else begin
+        let node, side = path.(h) in
+        let rec acquire () =
+          let* _ = Prog.await t.node.(node) (fun v -> v = 0) in
+          let* won = Prog.cas t.node.(node) ~expected:0 ~desired:(side + 1) in
+          if won then Prog.return () else acquire ()
+        in
+        let* () = acquire () in
+        climb (h + 1)
+      end
+    in
+    let* h = held_top path in
+    climb h
+  in
+  let exit ~pid =
+    let path = Tree.path ~n ~pid in
+    let* () = Prog.write t.status.(pid) st_releasing in
+    let* h = held_top path in
+    let rec descend i =
+      if i < 0 then Prog.return ()
+      else begin
+        let node, _side = path.(i) in
+        let* () = Prog.write t.node.(node) 0 in
+        descend (i - 1)
+      end
+    in
+    let* () = descend (h - 1) in
+    Prog.write t.status.(pid) st_idle
+  in
+  let recover ~pid =
+    let path = Tree.path ~n ~pid in
+    let* st = Prog.read t.status.(pid) in
+    (* idle = the crash hit before the first entry step (see Rcas). *)
+    if st = st_idle then Prog.return Lock_intf.Resume_entry
+    else if st = st_releasing then Prog.return Lock_intf.Resume_exit
+    else begin
+      let* h = held_top path in
+      if h = Array.length path then Prog.return Lock_intf.In_cs
+      else Prog.return Lock_intf.Resume_entry
+    end
+  in
+  { Lock_intf.entry; exit; recover; system_epoch = None }
+
+let factory =
+  {
+    Lock_intf.name = "rtournament";
+    recoverable = true;
+    min_width = (fun ~n:_ -> 2);
+    make;
+  }

@@ -1,0 +1,23 @@
+(** Recoverable binary tournament lock — the [O(log n)]-RMR RME algorithm
+    row of experiment E1, in the spirit of Jayanti and Joshi [16].
+
+    Each internal tree node is a word holding 0 (free), 1 (held via the
+    left child) or 2 (held via the right child), acquired by CAS. The key
+    recoverability property is that ownership is {e re-derivable} from
+    shared memory alone: a process [p] holds the nodes of a contiguous
+    lower segment of its leaf-to-root path, and
+
+    [held(0) = (node_0 = side_0 + 1)] — at leaf level the side slot
+    denotes a unique process — and
+    [held(l) = held(l-1) && (node_l = side_l + 1)] — a same-side holder of
+    a higher node must have come through the child node that [p] holds,
+    hence is [p] itself.
+
+    Entry and exit both recompute this held segment from scratch, which
+    makes them idempotent: recovery merely inspects the per-process status
+    word and re-runs the appropriate protocol. Node words need only 2
+    bits, so the algorithm works at every word size — it trades more RMRs
+    (Θ(log n)) for total word-size independence, one endpoint of the
+    paper's tradeoff. *)
+
+val factory : Rme_sim.Lock_intf.factory

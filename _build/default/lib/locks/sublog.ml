@@ -1,0 +1,20 @@
+module Lock_intf = Rme_sim.Lock_intf
+
+let arity_for ~n =
+  if n <= 2 then 2
+  else begin
+    let l = log (float_of_int n) /. log 2.0 in
+    let ll = Float.max 1.0 (log l /. log 2.0) in
+    max 2 (int_of_float (Float.ceil (l /. ll)))
+  end
+
+let factory =
+  {
+    Lock_intf.name = "sublog-tournament";
+    recoverable = true;
+    min_width = (fun ~n -> max 2 (arity_for ~n));
+    make =
+      (fun memory ~n ->
+        (Katzan_morrison.factory_with_arity (arity_for ~n)).Lock_intf.make memory
+          ~n);
+  }

@@ -1,0 +1,20 @@
+(** The sub-logarithmic RME point: [O(log n / log log n)] RMRs per
+    passage — the optimal complexity for read/FAS/FAI/CAS-style
+    primitives (Golab–Hendler [10] for CC, Jayanti–Jayanti–Joshi [15]
+    for DSM; optimality by Chan–Woelfel [5], reproven as a special case
+    of this paper's Theorem 1).
+
+    Realised as the recoverable arbitration tree of {!Katzan_morrison}
+    with arity fixed to [Θ(log n / log log n)] instead of [Θ(w)]: levels
+    [= log_b n = Θ(log n / log log n)], each O(1) RMRs. This is exactly
+    the structural point the paper makes about these algorithms — they
+    implicitly assume [w = Ω(log n)] (the node state needs
+    [b ≈ log n / log log n ≤ w] bits) but do not exploit any width
+    beyond that, which is why Katzan–Morrison beats them when words are
+    wide and why Theorem 1 says nothing can beat them when words are
+    poly-logarithmic. *)
+
+val arity_for : n:int -> int
+(** [max 2 (ceil (log n / log log n))]. *)
+
+val factory : Rme_sim.Lock_intf.factory

@@ -1,0 +1,24 @@
+module Memory = Rme_memory.Memory
+module Lock_intf = Rme_sim.Lock_intf
+module Prog = Rme_sim.Prog
+open Prog.Infix
+
+type t = { bit : Memory.loc }
+
+let make memory ~n:_ =
+  let bit = Memory.alloc memory ~name:"tas.bit" ~init:0 in
+  let t = { bit } in
+  let rec acquire () =
+    let* _ = Prog.await t.bit (fun v -> v = 0) in
+    let* old = Prog.fas t.bit 1 in
+    if old = 0 then Prog.return () else acquire ()
+  in
+  {
+    Lock_intf.entry = (fun ~pid:_ -> acquire ());
+    exit = (fun ~pid:_ -> Prog.write t.bit 0);
+    recover = (fun ~pid:_ -> Prog.return Lock_intf.Resume_entry);
+    system_epoch = None;
+  }
+
+let factory =
+  { Lock_intf.name = "tas"; recoverable = false; min_width = (fun ~n:_ -> 1); make }

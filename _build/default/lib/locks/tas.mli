@@ -1,0 +1,10 @@
+(** Test-and-test-and-set spin lock.
+
+    The simplest conventional baseline: a single bit, acquired with
+    fetch-and-store. Spins with reads (so under CC the wait is cached and
+    the repeated test incurs no RMRs), but every handoff invalidates all
+    waiters, so the RMR cost per passage grows with contention — the
+    classic motivation for queue locks. Not recoverable: a crash while
+    holding the bit deadlocks the system. *)
+
+val factory : Rme_sim.Lock_intf.factory

@@ -1,0 +1,14 @@
+(** Ticket lock (fetch-and-increment).
+
+    FIFO and fair: a process draws a ticket with FAI and waits for the
+    "now serving" counter to reach it. Constant RMRs per passage under CC
+    (the wait spins on a cached copy and is invalidated once per handoff
+    on average, though a passage can see up to [n] invalidations in the
+    worst case). Not recoverable: a ticket drawn and then forgotten in a
+    crash stalls the queue forever — the textbook example of why RME needs
+    different techniques.
+
+    Counters wrap modulo [2^w]; with at most [n] outstanding tickets the
+    lock is sound whenever [2^w >= n + 1]. *)
+
+val factory : Rme_sim.Lock_intf.factory

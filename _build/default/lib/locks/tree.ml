@@ -1,0 +1,21 @@
+let pow2_ceil n =
+  let n = max 1 n in
+  let rec loop p = if p >= n then p else loop (p * 2) in
+  loop 1
+
+let levels ~n =
+  let p = pow2_ceil n in
+  let rec loop acc p = if p = 1 then acc else loop (acc + 1) (p / 2) in
+  loop 0 p
+
+let num_nodes ~n = pow2_ceil n - 1
+
+let path ~n ~pid =
+  if pid < 0 || pid >= max 1 n then
+    invalid_arg (Printf.sprintf "Tree.path: pid %d out of range for n = %d" pid n);
+  let leaf = pow2_ceil n + pid in
+  let rec climb node acc =
+    if node <= 1 then acc else climb (node / 2) ((node / 2, node land 1) :: acc)
+  in
+  (* [climb] accumulates top-down; the path is wanted bottom-up. *)
+  Array.of_list (List.rev (climb leaf []))

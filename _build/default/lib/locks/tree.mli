@@ -1,0 +1,23 @@
+(** Binary-tournament-tree index arithmetic shared by the tree-based
+    locks.
+
+    Internal nodes are heap-indexed: the root is node 1, and node [i] has
+    children [2i] and [2i+1]. The [n] processes sit at the leaves of a
+    perfect binary tree of [2^ceil(log2 n)] leaves; process [p]'s leaf is
+    [pow2 + p]. A process's path climbs from its leaf's parent up to the
+    root, recording at each internal node which side (0 = left, 1 = right)
+    it arrived from. *)
+
+val pow2_ceil : int -> int
+(** Smallest power of two [>= max 1 n]. *)
+
+val levels : n:int -> int
+(** Number of internal nodes on each leaf-to-root path ([0] when [n <= 1]:
+    a single process needs no arbitration). *)
+
+val num_nodes : n:int -> int
+(** Internal node indices are [1 .. num_nodes] (i.e. [pow2_ceil n - 1]). *)
+
+val path : n:int -> pid:int -> (int * int) array
+(** Bottom-up path of process [pid]: [(node, side)] pairs from the lowest
+    internal node to the root. Length [levels ~n]. *)

@@ -1,0 +1,1 @@
+lib/memory/cache.ml: Array Hashtbl Option Rme_util

@@ -1,0 +1,1 @@
+lib/memory/memory.ml: Array Op Printf Rme_util

@@ -1,0 +1,1 @@
+lib/memory/memory.mli: Op

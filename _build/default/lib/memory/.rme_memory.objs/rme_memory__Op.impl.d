@@ -1,0 +1,1 @@
+lib/memory/op.ml: Format Rme_util

@@ -1,0 +1,1 @@
+lib/memory/op.mli: Format

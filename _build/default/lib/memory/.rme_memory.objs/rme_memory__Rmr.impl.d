@@ -1,0 +1,1 @@
+lib/memory/rmr.ml: Array Cache Format

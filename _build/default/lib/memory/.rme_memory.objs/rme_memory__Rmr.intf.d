@@ -1,0 +1,1 @@
+lib/memory/rmr.mli: Cache Format

@@ -1,0 +1,38 @@
+(** Cache state for the cache-coherent (CC) model.
+
+    Exactly the paper's definition: a read stores a copy of the location in
+    the reading process's cache; any non-read operation on the location, by
+    any process, invalidates every copy of it. An operation incurs an RMR
+    iff it is a non-read, or a read of a location the process holds no
+    valid copy of.
+
+    Crashes do {e not} preserve caches: a crash step drops the crashed
+    process's entire cache (its local state, of which the cache is part,
+    is reset). *)
+
+type t
+
+val create : n:int -> t
+(** Cache state for processes [0 .. n-1], all caches empty. *)
+
+val n : t -> int
+
+val has_copy : t -> pid:int -> loc:int -> bool
+
+val access : t -> pid:int -> loc:int -> is_read:bool -> bool
+(** Record one operation and return whether it incurs an RMR under the CC
+    rule. Updates validity: a read installs a copy for [pid]; a non-read
+    invalidates all copies of [loc]. *)
+
+val drop_process : t -> pid:int -> unit
+(** Invalidate every copy held by [pid] (crash semantics). *)
+
+val valid_set : t -> pid:int -> Rme_util.Intset.t
+(** The set of locations [pid] currently holds valid copies of — the
+    [R_p] of invariant (I9). *)
+
+val copy : t -> t
+(** Deep copy, for replay comparison. *)
+
+val equal_for : t -> t -> pid:int -> bool
+(** Whether the two states agree on [pid]'s valid set. *)

@@ -1,0 +1,62 @@
+module Bitword = Rme_util.Bitword
+module Vec = Rme_util.Vec
+
+type loc = int
+
+type cell = {
+  owner : int option;
+  name : string;
+  init : int;
+  mutable value : int;
+  mutable last_accessor : int option;
+}
+
+type t = { width : int; cells : cell Vec.t }
+
+let create ~width =
+  Bitword.check_width width;
+  { width; cells = Vec.create () }
+
+let width t = t.width
+
+let num_locs t = Vec.length t.cells
+
+let alloc ?owner ?(name = "loc") t ~init =
+  let init = Bitword.truncate ~width:t.width init in
+  Vec.push t.cells { owner; name; init; value = init; last_accessor = None }
+
+let alloc_array ?owner ?(name = "arr") t ~init ~len =
+  Array.init len (fun i -> alloc ?owner ~name:(Printf.sprintf "%s[%d]" name i) t ~init)
+
+let cell t loc = Vec.get t.cells loc
+
+let value t loc = (cell t loc).value
+
+let owner t loc = (cell t loc).owner
+
+let loc_name t loc = (cell t loc).name
+
+let last_accessor t loc = (cell t loc).last_accessor
+
+let apply t ~pid loc op =
+  let c = cell t loc in
+  let old = c.value in
+  c.value <- Op.next_value ~width:t.width op old;
+  c.last_accessor <- Some pid;
+  old
+
+let peek_next_value t loc op = Op.next_value ~width:t.width op (value t loc)
+
+let snapshot t = Array.init (num_locs t) (fun i -> (cell t i).value)
+
+let full_snapshot t =
+  Array.init (num_locs t) (fun i ->
+      let c = cell t i in
+      (c.value, c.last_accessor))
+
+let reset_values t =
+  Vec.iter
+    (fun c ->
+      c.value <- c.init;
+      c.last_accessor <- None)
+    t.cells

@@ -1,0 +1,40 @@
+(** The atomic-operation algebra on a single base object.
+
+    The paper's model allows {e arbitrary} atomic operations, as long as
+    each operation affects a single memory location ([Rmw] carries an
+    arbitrary transition function). Every operation returns the value the
+    location held {e immediately before} the operation — this uniform
+    convention subsumes the usual return conventions: a [Read] returns the
+    current value, [Fas]/[Faa] return the fetched value, and a [Cas]
+    succeeded iff the returned value equals its [expected] parameter. *)
+
+type t =
+  | Read
+  | Write of int
+  | Cas of { expected : int; desired : int }
+      (** Stores [desired] iff the current value equals [expected]. *)
+  | Fas of int  (** Fetch-and-store: unconditionally stores the operand. *)
+  | Faa of int
+      (** Fetch-and-add: adds the (possibly negative) operand modulo
+          [2^w]. *)
+  | Rmw of { name : string; f : width:int -> int -> int }
+      (** Arbitrary atomic read-modify-write: [f ~width current] is the new
+          value (it is truncated to [width] bits by the memory). The [name]
+          only serves tracing and debugging. *)
+
+val fai : t
+(** Fetch-and-increment, i.e. [Faa 1]. *)
+
+val is_read : t -> bool
+(** Only [Read] is a read; everything else invalidates CC cache copies,
+    even when it happens to leave the value unchanged (this matches the
+    paper's CC model, where any non-read operation invalidates). *)
+
+val next_value : width:int -> t -> int -> int
+(** [next_value ~width op current] is the value stored after applying [op]
+    to a location of width [width] currently holding [current]. The result
+    is always truncated to [width] bits. *)
+
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/checker.ml: Array Harness Hashtbl List Printf Rme_memory Rme_util Trace

@@ -1,0 +1,1 @@
+lib/sim/checker.mli: Harness Rme_memory Trace

@@ -1,0 +1,1 @@
+lib/sim/harness.ml: Array List Lock_intf Printf Prog Rme_memory Rme_util Trace

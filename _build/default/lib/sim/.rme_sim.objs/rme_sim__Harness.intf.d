@@ -1,0 +1,1 @@
+lib/sim/harness.mli: Lock_intf Prog Rme_memory Trace

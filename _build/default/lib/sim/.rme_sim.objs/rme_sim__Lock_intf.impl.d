@@ -1,0 +1,1 @@
+lib/sim/lock_intf.ml: Prog Rme_memory

@@ -1,0 +1,1 @@
+lib/sim/prog.ml: Rme_memory

@@ -1,0 +1,1 @@
+lib/sim/prog.mli: Rme_memory

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Format Rme_memory Rme_util

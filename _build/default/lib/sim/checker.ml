@@ -1,0 +1,86 @@
+module Memory = Rme_memory.Memory
+module Op = Rme_memory.Op
+module Rmr = Rme_memory.Rmr
+module Cache = Rme_memory.Cache
+module Bitword = Rme_util.Bitword
+
+type report = {
+  events : int;
+  steps_checked : int;
+  errors : string list;
+}
+
+let ok r = r.errors = []
+
+let check ~n ~width ~model ~owner trace =
+  let errors = ref [] in
+  let error fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let cache = match model with Rmr.Cc -> Some (Cache.create ~n) | Rmr.Dsm -> None in
+  let last_value : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* [holder]: the process entitled to the critical section — set by its
+     first CS step, kept across crashes inside the CS (re-entry), cleared
+     by its first exit step. *)
+  let holder = ref None in
+  let steps = ref 0 in
+  let index = ref 0 in
+  Trace.iter
+    (fun event ->
+      (match event with
+      | Trace.Step { pid; loc; op; old_value; new_value; rmr; section } ->
+          incr steps;
+          (* Value-chain continuity and width. *)
+          (match Hashtbl.find_opt last_value loc with
+          | Some prev when prev <> old_value ->
+              error "event %d: p%d read %d from R%d but the last store was %d"
+                !index pid old_value loc prev
+          | Some _ | None -> ());
+          if new_value < 0 || new_value > Bitword.mask width then
+            error "event %d: R%d holds %d, outside the %d-bit domain" !index loc
+              new_value width;
+          (* Operation semantics. *)
+          let expected_new = Op.next_value ~width op old_value in
+          if expected_new <> new_value then
+            error "event %d: p%d %s on R%d: %d -> %d, expected -> %d" !index pid
+              (Op.name op) loc old_value new_value expected_new;
+          Hashtbl.replace last_value loc new_value;
+          (* RMR recomputation. *)
+          let expected_rmr =
+            match (model, cache) with
+            | Rmr.Dsm, _ -> (
+                match owner loc with Some o -> o <> pid | None -> true)
+            | Rmr.Cc, Some c -> Cache.access c ~pid ~loc ~is_read:(Op.is_read op)
+            | Rmr.Cc, None -> assert false
+          in
+          if expected_rmr <> rmr then
+            error "event %d: p%d on R%d flagged rmr=%b, rules say %b" !index pid
+              loc rmr expected_rmr;
+          (* Mutual exclusion and critical-section re-entry. *)
+          (match section with
+          | Trace.In_cs -> (
+              match !holder with
+              | Some q when q <> pid ->
+                  error
+                    "event %d: p%d took a CS step while p%d holds the critical \
+                     section"
+                    !index pid q
+              | Some _ | None -> holder := Some pid)
+          | Trace.In_exit ->
+              if !holder = Some pid then holder := None
+          | Trace.In_entry | Trace.In_recovery -> ())
+      | Trace.Crash { pid; section = _ } -> (
+          match cache with Some c -> Cache.drop_process c ~pid | None -> ()));
+      incr index)
+    trace;
+  { events = !index; steps_checked = !steps; errors = List.rev !errors }
+
+let check_result (r : Harness.result) =
+  match r.Harness.trace with
+  | None -> None
+  | Some trace ->
+      let memory = r.Harness.memory in
+      Some
+        (check
+           ~n:(Array.length r.Harness.procs)
+           ~width:(Memory.width memory) ~model:r.Harness.model
+           ~owner:(fun loc -> Memory.owner memory loc)
+           trace)

@@ -1,0 +1,56 @@
+module Memory = Rme_memory.Memory
+module Op = Rme_memory.Op
+
+type 'a t =
+  | Return of 'a
+  | Step of Memory.loc * Op.t * (int -> 'a t)
+
+let return x = Return x
+
+let rec bind m f =
+  match m with
+  | Return x -> f x
+  | Step (loc, op, k) -> Step (loc, op, fun v -> bind (k v) f)
+
+let map f m = bind m (fun x -> Return (f x))
+
+let op loc o = Step (loc, o, fun v -> Return v)
+
+let read loc = op loc Op.Read
+
+let write loc v = Step (loc, Op.Write v, fun _ -> Return ())
+
+let cas_old loc ~expected ~desired = op loc (Op.Cas { expected; desired })
+
+let cas loc ~expected ~desired =
+  map (fun old -> old = expected) (cas_old loc ~expected ~desired)
+
+let fas loc v = op loc (Op.Fas v)
+
+let faa loc d = op loc (Op.Faa d)
+
+let fai loc = op loc Op.fai
+
+let rmw loc ~name f = op loc (Op.Rmw { name; f })
+
+let await loc cond =
+  let rec spin () =
+    Step (loc, Op.Read, fun v -> if cond v then Return v else spin ())
+  in
+  spin ()
+
+let repeat_until body =
+  let rec loop () =
+    bind (body ()) (function Some x -> Return x | None -> loop ())
+  in
+  loop ()
+
+let peek = function
+  | Return _ -> None
+  | Step (loc, o, _) -> Some (loc, o)
+
+module Infix = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+  let ( >>= ) = bind
+end

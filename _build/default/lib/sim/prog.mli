@@ -1,0 +1,65 @@
+(** Process programs as a free monad over shared-memory steps.
+
+    A lock protocol is written in direct style with [let*]; each [op]
+    yields exactly one atomic shared-memory operation to the scheduler,
+    which owns the interleaving. The representation gives the simulator
+    the two capabilities the paper's model requires:
+
+    - {b crash steps}: a crash discards the continuation — all "local
+      variables" (everything captured in the closure) vanish, while shared
+      memory persists; and
+    - {b poised inspection}: the next operation of a suspended program can
+      be examined without running it, which is how the adversary of the
+      lower-bound proof decides whether a process is "poised to incur an
+      RMR" and on which object. *)
+
+type 'a t =
+  | Return of 'a
+  | Step of Rme_memory.Memory.loc * Rme_memory.Op.t * (int -> 'a t)
+      (** [Step (loc, op, k)]: perform [op] on [loc]; [k] receives the
+          value the location held before the operation. *)
+
+val return : 'a -> 'a t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val op : Rme_memory.Memory.loc -> Rme_memory.Op.t -> int t
+(** A single operation returning the pre-operation value. *)
+
+(** {2 Operation shorthands} *)
+
+val read : Rme_memory.Memory.loc -> int t
+val write : Rme_memory.Memory.loc -> int -> unit t
+val cas : Rme_memory.Memory.loc -> expected:int -> desired:int -> bool t
+(** Returns whether the CAS succeeded. *)
+
+val cas_old : Rme_memory.Memory.loc -> expected:int -> desired:int -> int t
+(** Like [cas] but returns the pre-operation value. *)
+
+val fas : Rme_memory.Memory.loc -> int -> int t
+val faa : Rme_memory.Memory.loc -> int -> int t
+val fai : Rme_memory.Memory.loc -> int t
+val rmw : Rme_memory.Memory.loc -> name:string -> (width:int -> int -> int) -> int t
+
+(** {2 Control} *)
+
+val await : Rme_memory.Memory.loc -> (int -> bool) -> int t
+(** [await loc cond] spins — one read per scheduling step — until the
+    value satisfies [cond]; returns the satisfying value. Under the CC
+    model the re-reads hit the cache and incur no RMRs; under DSM they are
+    local only if the process owns [loc]. *)
+
+val repeat_until : (unit -> 'a option t) -> 'a t
+(** Re-run a program until it produces [Some]. *)
+
+val peek : 'a t -> (Rme_memory.Memory.loc * Rme_memory.Op.t) option
+(** The next shared-memory operation of a suspended program, or [None] if
+    it has returned. *)
+
+module Infix : sig
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+  val ( >>= ) : 'a t -> ('a -> 'b t) -> 'b t
+end

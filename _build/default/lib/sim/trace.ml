@@ -1,0 +1,54 @@
+module Vec = Rme_util.Vec
+module Op = Rme_memory.Op
+
+type section = In_entry | In_cs | In_exit | In_recovery
+
+let section_name = function
+  | In_entry -> "entry"
+  | In_cs -> "cs"
+  | In_exit -> "exit"
+  | In_recovery -> "recovery"
+
+type event =
+  | Step of {
+      pid : int;
+      loc : Rme_memory.Memory.loc;
+      op : Op.t;
+      old_value : int;
+      new_value : int;
+      rmr : bool;
+      section : section;
+    }
+  | Crash of { pid : int; section : section }
+
+type t = event Vec.t
+
+let create () = Vec.create ()
+
+let record t e = ignore (Vec.push t e)
+
+let length = Vec.length
+
+let get = Vec.get
+
+let events t = Array.to_list (Vec.to_array t)
+
+let iter = Vec.iter
+
+let pid_of_event = function Step { pid; _ } -> pid | Crash { pid; _ } -> pid
+
+let filter_pids t ~keep =
+  let t' = create () in
+  iter (fun e -> if keep (pid_of_event e) then record t' e) t;
+  t'
+
+let pp_event ppf = function
+  | Step { pid; loc; op; old_value; new_value; rmr; section } ->
+      Format.fprintf ppf "p%d %s %a@R%d: %d -> %d%s" pid (section_name section)
+        Op.pp op loc old_value new_value
+        (if rmr then " [RMR]" else "")
+  | Crash { pid; section } ->
+      Format.fprintf ppf "p%d CRASH in %s" pid (section_name section)
+
+let pp ppf t =
+  iter (fun e -> Format.fprintf ppf "%a@." pp_event e) t

@@ -1,0 +1,39 @@
+(** Execution traces.
+
+    The scheduler can record every event of a run: each shared-memory step
+    (with its pre/post values and whether it incurred an RMR) and each
+    crash step. Traces feed the lower-bound adversary's replay machinery
+    and the schedule-table invariant checkers, and make failing tests
+    debuggable. *)
+
+type section = In_entry | In_cs | In_exit | In_recovery
+
+val section_name : section -> string
+
+type event =
+  | Step of {
+      pid : int;
+      loc : Rme_memory.Memory.loc;
+      op : Rme_memory.Op.t;
+      old_value : int;
+      new_value : int;
+      rmr : bool;
+      section : section;
+    }
+  | Crash of { pid : int; section : section }
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val length : t -> int
+val get : t -> int -> event
+val events : t -> event list
+val iter : (event -> unit) -> t -> unit
+val pid_of_event : event -> int
+val filter_pids : t -> keep:(int -> bool) -> t
+(** A new trace containing only events of kept processes — the "removal
+    of processes from a schedule" operation of the lower-bound proof. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/bitword.ml: Bytes Format List Printf

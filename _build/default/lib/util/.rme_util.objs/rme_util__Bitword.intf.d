@@ -1,0 +1,1 @@
+lib/util/bitword.mli: Format

@@ -1,0 +1,1 @@
+lib/util/intset.ml: Format Int List Set String

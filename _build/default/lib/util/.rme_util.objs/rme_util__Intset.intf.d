@@ -1,0 +1,1 @@
+lib/util/intset.mli: Format Set

@@ -1,0 +1,58 @@
+let max_width = 62
+
+let check_width w =
+  if w < 1 || w > max_width then
+    invalid_arg (Printf.sprintf "Bitword: width %d out of range [1, %d]" w max_width)
+
+let mask w =
+  check_width w;
+  if w = max_width then max_int else (1 lsl w) - 1
+
+let truncate ~width v = v land mask width
+
+let domain_size w =
+  check_width w;
+  if w = max_width then invalid_arg "Bitword.domain_size: 2^62 overflows"
+  else 1 lsl w
+
+let add ~width a b = truncate ~width (a + b)
+
+let test_bit v i = (v lsr i) land 1 = 1
+
+let set_bit v i = v lor (1 lsl i)
+
+let clear_bit v i = v land lnot (1 lsl i)
+
+let popcount v =
+  assert (v >= 0);
+  let rec loop acc v = if v = 0 then acc else loop (acc + (v land 1)) (v lsr 1) in
+  loop 0 v
+
+let lowest_set_bit v =
+  if v = 0 then None
+  else begin
+    let rec loop i = if test_bit v i then i else loop (i + 1) in
+    Some (loop 0)
+  end
+
+let bits v =
+  let rec loop i v acc =
+    if v = 0 then List.rev acc
+    else if v land 1 = 1 then loop (i + 1) (v lsr 1) (i :: acc)
+    else loop (i + 1) (v lsr 1) acc
+  in
+  loop 0 v []
+
+let bits_needed n =
+  if n <= 1 then n
+  else begin
+    let rec loop b cap = if cap >= n then b else loop (b + 1) (cap * 2) in
+    loop 1 2
+  end
+
+let pp ~width ppf v =
+  let buf = Bytes.create width in
+  for i = 0 to width - 1 do
+    Bytes.set buf (width - 1 - i) (if test_bit v i then '1' else '0')
+  done;
+  Format.pp_print_string ppf (Bytes.to_string buf)

@@ -1,0 +1,55 @@
+(** Fixed-width machine words.
+
+    Every shared base object in the simulated system stores a value from a
+    domain of size [2^w] (the paper's word-size parameter). This module
+    provides the arithmetic on such values: masking, wraparound addition,
+    and bit manipulation. Values are represented as non-negative OCaml
+    integers, so the supported range of widths is [1 <= w <= 62]. *)
+
+val max_width : int
+(** Largest supported word width (62, the usable bits of a native [int]). *)
+
+val check_width : int -> unit
+(** [check_width w] raises [Invalid_argument] unless [1 <= w <= max_width]. *)
+
+val mask : int -> int
+(** [mask w] is [2^w - 1], the all-ones word of width [w]. *)
+
+val truncate : width:int -> int -> int
+(** [truncate ~width v] keeps the low [width] bits of [v]. Negative values
+    are interpreted in two's complement, i.e. [truncate ~width (-1)] is
+    [mask width]. *)
+
+val domain_size : int -> int
+(** [domain_size w] is [2^w], the number of distinct values of a [w]-bit
+    word. Raises [Invalid_argument] if [w > max_width]. *)
+
+val add : width:int -> int -> int -> int
+(** [add ~width a b] is [(a + b) mod 2^width], the semantics of a [w]-bit
+    fetch-and-add. [b] may be negative (wraps). *)
+
+val test_bit : int -> int -> bool
+(** [test_bit v i] is the [i]-th bit of [v] (bit 0 is least significant). *)
+
+val set_bit : int -> int -> int
+(** [set_bit v i] sets bit [i] of [v]. *)
+
+val clear_bit : int -> int -> int
+(** [clear_bit v i] clears bit [i] of [v]. *)
+
+val popcount : int -> int
+(** Number of set bits. Requires the argument to be non-negative. *)
+
+val lowest_set_bit : int -> int option
+(** Index of the least-significant set bit, or [None] when the argument is
+    zero. *)
+
+val bits : int -> int list
+(** [bits v] is the ascending list of set-bit indices of [v]. *)
+
+val bits_needed : int -> int
+(** [bits_needed n] is the number of bits required to represent the values
+    [0 .. n-1]; by convention [bits_needed 0 = 0] and [bits_needed 1 = 1]. *)
+
+val pp : width:int -> Format.formatter -> int -> unit
+(** Print a word as a zero-padded binary string of the given width. *)

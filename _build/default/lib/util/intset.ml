@@ -1,0 +1,26 @@
+include Set.Make (Int)
+
+let of_range lo hi =
+  let rec loop i acc = if i > hi then acc else loop (i + 1) (add i acc) in
+  loop lo empty
+
+let to_sorted_list = elements
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", " (List.map string_of_int (elements s)))
+
+let encode s =
+  fold
+    (fun p acc ->
+      if p < 0 || p > 61 then invalid_arg "Intset.encode: element out of [0, 61]";
+      acc lor (1 lsl p))
+    s 0
+
+let decode v =
+  let rec loop i v acc =
+    if v = 0 then acc
+    else if v land 1 = 1 then loop (i + 1) (v lsr 1) (add i acc)
+    else loop (i + 1) (v lsr 1) acc
+  in
+  loop 0 v empty

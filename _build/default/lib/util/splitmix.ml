@@ -1,0 +1,45 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Take the top bits, which have the best statistical quality, and reduce
+     modulo the bound; the modulo bias is negligible for simulation use. *)
+  let raw = Int64.to_int (Int64.shift_right_logical (next g) 2) in
+  raw mod bound
+
+let float g =
+  let raw = Int64.to_float (Int64.shift_right_logical (next g) 11) in
+  raw *. (1.0 /. 9007199254740992.0)
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let split g =
+  let seed = Int64.to_int (next g) in
+  { state = mix (Int64.of_int seed) }
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Splitmix.pick: empty array";
+  a.(int g (Array.length a))

@@ -1,0 +1,57 @@
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize a =
+  if Array.length a = 0 then invalid_arg "Stats.summarize: empty sample";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let m = mean sorted in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 sorted
+    /. float_of_int n
+  in
+  {
+    count = n;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    mean = m;
+    stddev = sqrt var;
+    p50 = percentile sorted 0.5;
+    p95 = percentile sorted 0.95;
+    p99 = percentile sorted 0.99;
+  }
+
+let summarize_ints a = summarize (Array.map float_of_int a)
+
+let max_int_arr a =
+  if Array.length a = 0 then invalid_arg "Stats.max_int_arr: empty sample";
+  Array.fold_left max a.(0) a
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d min=%.2f mean=%.2f p95=%.2f max=%.2f" s.count s.min
+    s.mean s.p95 s.max

@@ -1,0 +1,29 @@
+(** Small descriptive-statistics helpers for experiment summaries. *)
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Summary of a non-empty sample; raises [Invalid_argument] on empty
+    input. The input array is not modified. *)
+
+val summarize_ints : int array -> summary
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [0,1], by linear interpolation.
+    The array must already be sorted ascending and non-empty. *)
+
+val mean : float array -> float
+
+val max_int_arr : int array -> int
+(** Maximum of a non-empty int array. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Array Float Format List Printf QCheck QCheck_alcotest Rme_core Rme_locks Rme_memory Rme_sim Rme_util

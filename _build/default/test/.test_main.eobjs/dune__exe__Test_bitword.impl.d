@@ -1,0 +1,1 @@
+test/test_bitword.ml: Alcotest Format QCheck QCheck_alcotest Rme_util

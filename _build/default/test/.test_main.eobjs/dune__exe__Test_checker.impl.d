@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rme_locks Rme_memory Rme_sim String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Rme_experiments Rme_util String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array List Rme_locks Rme_memory Rme_sim

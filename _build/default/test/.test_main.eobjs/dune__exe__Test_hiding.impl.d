@@ -1,0 +1,1 @@
+test/test_hiding.ml: Alcotest Array Lazy List Printf QCheck QCheck_alcotest Rme_core Rme_util

@@ -1,0 +1,1 @@
+test/test_km.ml: Alcotest List Printf Rme_locks Rme_memory Rme_sim String

@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Array Float List QCheck QCheck_alcotest Result Rme_core Rme_util

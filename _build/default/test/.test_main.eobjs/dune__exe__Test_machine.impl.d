@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest List Printf Rme_core Rme_locks Rme_memory Rme_sim

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array List QCheck QCheck_alcotest Rme_memory Rme_util

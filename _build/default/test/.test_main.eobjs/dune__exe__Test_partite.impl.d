@@ -1,0 +1,1 @@
+test/test_partite.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Rme_core Rme_util

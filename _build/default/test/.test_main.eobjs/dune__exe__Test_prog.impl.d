@@ -1,0 +1,1 @@
+test/test_prog.ml: Alcotest Rme_memory Rme_sim

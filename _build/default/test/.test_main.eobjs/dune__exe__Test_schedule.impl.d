@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array List Rme_core Rme_locks Rme_memory Rme_util

@@ -1,0 +1,1 @@
+test/test_system_crash.ml: Alcotest Array List Printf Rme_locks Rme_memory Rme_sim String

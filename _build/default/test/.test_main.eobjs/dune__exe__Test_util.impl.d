@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen QCheck QCheck_alcotest Rme_util String

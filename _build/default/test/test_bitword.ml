@@ -1,0 +1,109 @@
+module B = Rme_util.Bitword
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_mask () =
+  check_int "mask 1" 1 (B.mask 1);
+  check_int "mask 4" 15 (B.mask 4);
+  check_int "mask 8" 255 (B.mask 8);
+  check_int "mask 62" max_int (B.mask 62)
+
+let test_mask_invalid () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Bitword: width 0 out of range [1, 62]")
+    (fun () -> ignore (B.mask 0));
+  Alcotest.check_raises "width 63" (Invalid_argument "Bitword: width 63 out of range [1, 62]")
+    (fun () -> ignore (B.mask 63))
+
+let test_truncate () =
+  check_int "in range" 5 (B.truncate ~width:4 5);
+  check_int "wraps" 1 (B.truncate ~width:4 17);
+  check_int "negative is two's complement" 15 (B.truncate ~width:4 (-1));
+  check_int "zero" 0 (B.truncate ~width:8 256)
+
+let test_domain_size () =
+  check_int "2^1" 2 (B.domain_size 1);
+  check_int "2^10" 1024 (B.domain_size 10)
+
+let test_add_wraps () =
+  check_int "no wrap" 7 (B.add ~width:4 3 4);
+  check_int "wrap" 1 (B.add ~width:4 15 2);
+  check_int "negative operand" 14 (B.add ~width:4 0 (-2));
+  check_int "full cycle" 5 (B.add ~width:8 5 256)
+
+let test_bits () =
+  check_bool "bit 0 of 5" true (B.test_bit 5 0);
+  check_bool "bit 1 of 5" false (B.test_bit 5 1);
+  check_bool "bit 2 of 5" true (B.test_bit 5 2);
+  check_int "set" 7 (B.set_bit 5 1);
+  check_int "set idempotent" 5 (B.set_bit 5 0);
+  check_int "clear" 4 (B.clear_bit 5 0);
+  check_int "clear idempotent" 5 (B.clear_bit 5 1)
+
+let test_popcount () =
+  check_int "0" 0 (B.popcount 0);
+  check_int "5" 2 (B.popcount 5);
+  check_int "255" 8 (B.popcount 255)
+
+let test_lowest_set_bit () =
+  Alcotest.(check (option int)) "0" None (B.lowest_set_bit 0);
+  Alcotest.(check (option int)) "8" (Some 3) (B.lowest_set_bit 8);
+  Alcotest.(check (option int)) "6" (Some 1) (B.lowest_set_bit 6)
+
+let test_bits_list () =
+  Alcotest.(check (list int)) "13" [ 0; 2; 3 ] (B.bits 13);
+  Alcotest.(check (list int)) "0" [] (B.bits 0)
+
+let test_bits_needed () =
+  check_int "0" 0 (B.bits_needed 0);
+  check_int "1" 1 (B.bits_needed 1);
+  check_int "2" 1 (B.bits_needed 2);
+  check_int "3" 2 (B.bits_needed 3);
+  check_int "256" 8 (B.bits_needed 256);
+  check_int "257" 9 (B.bits_needed 257)
+
+let test_pp () =
+  Alcotest.(check string) "5 at width 4" "0101" (Format.asprintf "%a" (B.pp ~width:4) 5)
+
+let prop_truncate_idempotent =
+  QCheck.Test.make ~name:"truncate is idempotent"
+    QCheck.(pair (int_range 1 62) (int_bound max_int))
+    (fun (w, v) -> B.truncate ~width:w (B.truncate ~width:w v) = B.truncate ~width:w v)
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"wrapping add is associative"
+    QCheck.(quad (int_range 1 30) small_nat small_nat small_nat)
+    (fun (w, a, b, c) ->
+      B.add ~width:w (B.add ~width:w a b) c = B.add ~width:w a (B.add ~width:w b c))
+
+let prop_set_then_test =
+  QCheck.Test.make ~name:"set_bit makes test_bit true"
+    QCheck.(pair (int_bound 1000000) (int_range 0 40))
+    (fun (v, i) -> B.test_bit (B.set_bit v i) i)
+
+let prop_popcount_set =
+  QCheck.Test.make ~name:"popcount after setting a clear bit grows by 1"
+    QCheck.(pair (int_bound 1000000) (int_range 0 40))
+    (fun (v, i) ->
+      QCheck.assume (not (B.test_bit v i));
+      B.popcount (B.set_bit v i) = B.popcount v + 1)
+
+let suite =
+  ( "bitword",
+    [
+      Alcotest.test_case "mask" `Quick test_mask;
+      Alcotest.test_case "mask rejects bad widths" `Quick test_mask_invalid;
+      Alcotest.test_case "truncate" `Quick test_truncate;
+      Alcotest.test_case "domain_size" `Quick test_domain_size;
+      Alcotest.test_case "add wraps modulo 2^w" `Quick test_add_wraps;
+      Alcotest.test_case "bit test/set/clear" `Quick test_bits;
+      Alcotest.test_case "popcount" `Quick test_popcount;
+      Alcotest.test_case "lowest_set_bit" `Quick test_lowest_set_bit;
+      Alcotest.test_case "bits list" `Quick test_bits_list;
+      Alcotest.test_case "bits_needed" `Quick test_bits_needed;
+      Alcotest.test_case "binary printing" `Quick test_pp;
+      QCheck_alcotest.to_alcotest prop_truncate_idempotent;
+      QCheck_alcotest.to_alcotest prop_add_assoc;
+      QCheck_alcotest.to_alcotest prop_set_then_test;
+      QCheck_alcotest.to_alcotest prop_popcount_set;
+    ] )

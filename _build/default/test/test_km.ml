@@ -1,0 +1,167 @@
+(* Katzan–Morrison-specific tests: arity selection, level structure,
+   forced-arity variants, recovery classification, and the word-size
+   sweep at scale. *)
+
+module H = Rme_sim.Harness
+module KM = Rme_locks.Katzan_morrison
+module Rmr = Rme_memory.Rmr
+module Lock_intf = Rme_sim.Lock_intf
+
+let assert_ok name (r : H.result) =
+  if not r.H.ok then
+    Alcotest.failf "%s: ok=false (completed=%b, violations=%s)" name r.H.completed
+      (String.concat "; " r.H.violations)
+
+let run ?(n = 8) ?(w = 16) ?(sp = 2) ?(policy = H.Round_robin) ?crashes
+    ?(allow_cs_crash = false) ?(max_crashes = 1) model factory =
+  let cfg =
+    {
+      (H.default_config ~n ~width:w model) with
+      superpassages = sp;
+      policy;
+      allow_cs_crash;
+      max_crashes_per_process = max_crashes;
+    }
+  in
+  let cfg = match crashes with Some c -> { cfg with H.crashes = c } | None -> cfg in
+  H.run cfg factory
+
+let test_forced_arities () =
+  (* Forcing arity b on a width-w memory, for every b <= w. *)
+  List.iter
+    (fun b ->
+      let f = KM.factory_with_arity b in
+      let r = run ~n:10 ~w:16 ~policy:(H.Random_policy b) Rmr.Cc f in
+      assert_ok (Printf.sprintf "km arity %d" b) r)
+    [ 2; 3; 4; 8; 16 ]
+
+let test_arity_exceeding_width_rejected () =
+  let f = KM.factory_with_arity 16 in
+  Alcotest.(check bool) "b > w rejected" true
+    (try
+       ignore (run ~n:8 ~w:8 Rmr.Cc f);
+       false
+     with Invalid_argument _ -> true)
+
+let test_wider_arity_fewer_rmrs () =
+  (* At n = 64, arity 2 gives 6 levels; arity 8 gives 2. *)
+  let rmrs b =
+    let r = run ~n:64 ~w:32 ~sp:1 (Rmr.Dsm) (KM.factory_with_arity b) in
+    assert_ok (Printf.sprintf "arity %d" b) r;
+    r.H.max_passage_rmr
+  in
+  Alcotest.(check bool) "b=8 cheaper than b=2" true (rmrs 8 < rmrs 2)
+
+let test_narrowest_width () =
+  (* w = 2 forces binary arity and multi-word pids. *)
+  let r = run ~n:12 ~w:2 ~sp:2 ~policy:(H.Random_policy 17) Rmr.Cc KM.factory in
+  assert_ok "km w=2" r
+
+let test_width_sweep_shape () =
+  (* The headline tradeoff at n = 128: passage RMRs fall as w grows.
+     Widths giving the same tree depth can differ slightly from
+     contention noise, so the check allows 15% slack per step and
+     requires a large overall drop. *)
+  let rmrs w =
+    let r = run ~n:128 ~w ~sp:1 ~policy:(H.Random_policy 3) Rmr.Dsm KM.factory in
+    assert_ok (Printf.sprintf "w=%d" w) r;
+    r.H.max_passage_rmr
+  in
+  let seq = List.map rmrs [ 2; 4; 8; 16; 32 ] in
+  let rec mostly_decreasing = function
+    | a :: b :: rest -> (b <= a + (a * 15 / 100)) && mostly_decreasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly decreasing: %s"
+       (String.concat " ~>= " (List.map string_of_int seq)))
+    true (mostly_decreasing seq);
+  let first = List.hd seq and last = List.nth seq (List.length seq - 1) in
+  Alcotest.(check bool) "w=2 costs at least 3x w=32" true (first >= 3 * last)
+
+let test_crash_storm_many_seeds () =
+  List.iter
+    (fun seed ->
+      let r =
+        run ~n:8 ~w:8 ~sp:3 ~policy:(H.Random_policy seed)
+          ~crashes:(H.Crash_prob { prob = 0.04; seed = seed * 7 })
+          ~allow_cs_crash:true ~max_crashes:4 Rmr.Cc KM.factory
+      in
+      assert_ok (Printf.sprintf "km storm %d" seed) r)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_crash_storm_dsm_narrow () =
+  (* Narrow words + DSM + crashes: the most delicate recovery paths
+     (multi-word who/pid chunks, succ/xdone bookkeeping). *)
+  List.iter
+    (fun seed ->
+      let r =
+        run ~n:9 ~w:3 ~sp:2 ~policy:(H.Random_policy seed)
+          ~crashes:(H.Crash_prob { prob = 0.05; seed })
+          ~allow_cs_crash:true ~max_crashes:3 Rmr.Dsm KM.factory
+      in
+      assert_ok (Printf.sprintf "km narrow storm %d" seed) r)
+    [ 11; 22; 33; 44 ]
+
+let test_systematic_crash_points () =
+  (* Crash every process at every step of a short run — the full
+     single-crash state space of the handoff protocol. *)
+  let n = 3 and w = 4 in
+  List.iter
+    (fun model ->
+      let base = { (H.default_config ~n ~width:w model) with superpassages = 1 } in
+      let crash_free = H.run base KM.factory in
+      assert_ok "baseline" crash_free;
+      for s = 0 to crash_free.H.steps - 1 do
+        for p = 0 to n - 1 do
+          let cfg =
+            { base with H.crashes = H.Crash_script [ (s, p) ]; allow_cs_crash = true }
+          in
+          let r = H.run cfg KM.factory in
+          assert_ok (Printf.sprintf "km %s crash p%d@%d" (Rmr.model_name model) p s) r
+        done
+      done)
+    Rmr.all_models
+
+let test_double_crash_same_process () =
+  let n = 3 and w = 4 in
+  let base = { (H.default_config ~n ~width:w Rmr.Cc) with superpassages = 1 } in
+  let crash_free = H.run base KM.factory in
+  let horizon = min 60 crash_free.H.steps in
+  let stride = max 1 (horizon / 10) in
+  for i = 0 to (horizon / stride) - 1 do
+    for j = i to (horizon / stride) - 1 do
+      let s1 = i * stride and s2 = j * stride in
+      let cfg =
+        {
+          base with
+          H.crashes = H.Crash_script [ (s1, 0); (s2, 0) ];
+          allow_cs_crash = true;
+          max_crashes_per_process = 2;
+        }
+      in
+      let r = H.run cfg KM.factory in
+      assert_ok (Printf.sprintf "km double crash @%d @%d" s1 s2) r
+    done
+  done
+
+let test_min_width_is_two () =
+  Alcotest.(check int) "min width" 2 (KM.factory.Lock_intf.min_width ~n:1000);
+  Alcotest.(check int) "forced arity min width" 8
+    ((KM.factory_with_arity 8).Lock_intf.min_width ~n:1000)
+
+let suite =
+  ( "katzan-morrison",
+    [
+      Alcotest.test_case "forced arities" `Quick test_forced_arities;
+      Alcotest.test_case "arity > width rejected" `Quick test_arity_exceeding_width_rejected;
+      Alcotest.test_case "wider arity costs fewer RMRs" `Quick test_wider_arity_fewer_rmrs;
+      Alcotest.test_case "narrowest width (w=2)" `Quick test_narrowest_width;
+      Alcotest.test_case "width sweep is monotone" `Quick test_width_sweep_shape;
+      Alcotest.test_case "crash storms (CC)" `Quick test_crash_storm_many_seeds;
+      Alcotest.test_case "crash storms (DSM, narrow words)" `Quick
+        test_crash_storm_dsm_narrow;
+      Alcotest.test_case "every single-crash point" `Slow test_systematic_crash_points;
+      Alcotest.test_case "double crashes, same process" `Slow test_double_crash_same_process;
+      Alcotest.test_case "minimum widths" `Quick test_min_width_is_two;
+    ] )

@@ -1,0 +1,126 @@
+(* Tests for the adversary-controlled machine. *)
+
+module M = Rme_core.Machine
+module Rmr = Rme_memory.Rmr
+module Op = Rme_memory.Op
+
+let mk ?(n = 4) ?(w = 16) ?(model = Rmr.Cc) factory = M.create ~n ~width:w ~model factory
+
+let test_initial_phase () =
+  let m = mk Rme_locks.Rcas.factory in
+  for p = 0 to 3 do
+    Alcotest.(check bool) "in entry" true (M.phase m ~pid:p = M.In_entry);
+    Alcotest.(check bool) "poised" true (M.peek m ~pid:p <> None)
+  done
+
+let test_peek_then_step_consistent () =
+  let m = mk Rme_locks.Rcas.factory in
+  match M.peek m ~pid:0 with
+  | None -> Alcotest.fail "not poised"
+  | Some (loc, _op) ->
+      let info = M.step m ~pid:0 in
+      Alcotest.(check int) "same loc" loc info.M.loc
+
+let test_run_to_completion_solo () =
+  let m = mk ~n:1 Rme_locks.Rcas.factory in
+  let steps = ref 0 in
+  let ok = M.run_to_completion m ~pid:0 ~cap:1000 ~on_step:(fun _ -> incr steps) in
+  Alcotest.(check bool) "completed" true ok;
+  Alcotest.(check bool) "took steps" true (!steps > 0);
+  Alcotest.(check bool) "phase done" true (M.completed m ~pid:0);
+  Alcotest.(check int) "entered CS once" 1 (M.cs_entries m ~pid:0)
+
+let test_blocked_completion () =
+  (* p0 takes the lock; p1 cannot complete. *)
+  let m = mk ~n:2 Rme_locks.Rcas.factory in
+  (* run p0 until it is in the CS *)
+  let guard = ref 0 in
+  while M.phase m ~pid:0 <> M.In_cs && !guard < 100 do
+    ignore (M.step m ~pid:0);
+    incr guard
+  done;
+  Alcotest.(check bool) "p0 in CS" true (M.phase m ~pid:0 = M.In_cs);
+  let ok = M.run_to_completion m ~pid:1 ~cap:500 ~on_step:(fun _ -> ()) in
+  Alcotest.(check bool) "p1 blocked" false ok
+
+let test_crash_resets_continuation () =
+  let m = mk ~n:2 Rme_locks.Rcas.factory in
+  ignore (M.step m ~pid:0);
+  M.crash m ~pid:0;
+  Alcotest.(check int) "crash counted" 1 (M.crashes m ~pid:0);
+  Alcotest.(check bool) "in recovery" true (M.phase m ~pid:0 = M.In_recovery);
+  (* Recovery must lead back to a completable state. *)
+  let ok = M.run_to_completion m ~pid:0 ~cap:1000 ~on_step:(fun _ -> ()) in
+  Alcotest.(check bool) "completes after crash" true ok
+
+let test_crash_drops_cache () =
+  let m = mk ~n:2 ~model:Rmr.Cc Rme_locks.Rcas.factory in
+  (* status write then await-read: run two steps so p0 caches the lock word *)
+  ignore (M.step m ~pid:0);
+  ignore (M.step m ~pid:0);
+  let rmrs_before = M.total_rmrs m ~pid:0 in
+  M.crash m ~pid:0;
+  (* Totals survive the crash; the cache does not (observable via
+     poised_rmr on the lock word read in recovery, which is remote again). *)
+  Alcotest.(check int) "totals kept" rmrs_before (M.total_rmrs m ~pid:0)
+
+let test_run_while_local_dsm () =
+  (* In DSM, rcas's first entry step (own status word) is local; the
+     await read of the shared lock word is remote. *)
+  let m = mk ~n:2 ~model:Rmr.Dsm Rme_locks.Rcas.factory in
+  let taken = M.run_while_local m ~pid:0 ~cap:100 in
+  Alcotest.(check int) "one local step" 1 taken;
+  Alcotest.(check bool) "now poised on RMR" true (M.poised_rmr m ~pid:0);
+  Alcotest.(check int) "no RMRs incurred" 0 (M.total_rmrs m ~pid:0)
+
+let test_run_while_local_cc () =
+  (* In CC, every write is remote: the status write is already an RMR. *)
+  let m = mk ~n:2 ~model:Rmr.Cc Rme_locks.Rcas.factory in
+  let taken = M.run_while_local m ~pid:0 ~cap:100 in
+  Alcotest.(check int) "no local steps" 0 taken;
+  Alcotest.(check bool) "poised on RMR" true (M.poised_rmr m ~pid:0)
+
+let test_step_on_completed_rejected () =
+  let m = mk ~n:1 Rme_locks.Rcas.factory in
+  ignore (M.run_to_completion m ~pid:0 ~cap:1000 ~on_step:(fun _ -> ()));
+  Alcotest.check_raises "step after done"
+    (Invalid_argument "Machine.step: process already completed") (fun () ->
+      ignore (M.step m ~pid:0))
+
+let test_width_check () =
+  Alcotest.(check bool) "narrow width rejected" true
+    (try
+       ignore (M.create ~n:300 ~width:4 ~model:Rmr.Cc Rme_locks.Rcas.factory);
+       false
+     with Invalid_argument _ -> true)
+
+let test_all_complete_sequentially () =
+  (* Any lock: run processes to completion one after another. *)
+  List.iter
+    (fun (factory : Rme_sim.Lock_intf.factory) ->
+      let m = mk ~n:4 factory in
+      for p = 0 to 3 do
+        let ok = M.run_to_completion m ~pid:p ~cap:5_000 ~on_step:(fun _ -> ()) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s p%d completes" factory.Rme_sim.Lock_intf.name p)
+          true ok
+      done)
+    Rme_locks.Registry.all
+
+let suite =
+  ( "machine",
+    [
+      Alcotest.test_case "initial phases" `Quick test_initial_phase;
+      Alcotest.test_case "peek/step consistency" `Quick test_peek_then_step_consistent;
+      Alcotest.test_case "solo completion" `Quick test_run_to_completion_solo;
+      Alcotest.test_case "blocked completion hits cap" `Quick test_blocked_completion;
+      Alcotest.test_case "crash resets continuation" `Quick test_crash_resets_continuation;
+      Alcotest.test_case "crash keeps RMR totals" `Quick test_crash_drops_cache;
+      Alcotest.test_case "run_while_local (DSM)" `Quick test_run_while_local_dsm;
+      Alcotest.test_case "run_while_local (CC)" `Quick test_run_while_local_cc;
+      Alcotest.test_case "step after completion rejected" `Quick
+        test_step_on_completed_rejected;
+      Alcotest.test_case "width checked" `Quick test_width_check;
+      Alcotest.test_case "sequential completion, all locks" `Quick
+        test_all_complete_sequentially;
+    ] )

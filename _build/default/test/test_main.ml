@@ -1,0 +1,24 @@
+(* Aggregated test runner. Suites live one per module; each exposes
+   [suite : string * unit Alcotest.test_case list]. *)
+
+let () =
+  Alcotest.run "rme"
+    [
+      Test_bitword.suite;
+      Test_util.suite;
+      Test_memory.suite;
+      Test_prog.suite;
+      Test_harness.suite;
+      Test_checker.suite;
+      Test_locks.suite;
+      Test_locks_crash.suite;
+      Test_system_crash.suite;
+      Test_km.suite;
+      Test_partite.suite;
+      Test_lemmas.suite;
+      Test_hiding.suite;
+      Test_machine.suite;
+      Test_adversary.suite;
+      Test_schedule.suite;
+      Test_experiments.suite;
+    ]

@@ -1,0 +1,91 @@
+(* Tests for hypergraph representation and the Definition 3 operators. *)
+
+module P = Rme_core.Partite
+module Intset = Rme_util.Intset
+
+let parts2 = [| [| 1; 2 |]; [| 10; 20 |] |]
+
+let test_complete () =
+  let h = P.complete ~parts:parts2 in
+  Alcotest.(check int) "4 edges" 4 (P.num_edges h);
+  Alcotest.(check int) "2 parts" 2 (P.num_parts h);
+  Alcotest.(check bool) "contains (1,10)" true
+    (List.exists (fun e -> e = [| 1; 10 |]) h.P.edges)
+
+let test_complete_three_parts () =
+  let h = P.complete ~parts:[| [| 1 |]; [| 2; 3 |]; [| 4; 5; 6 |] |] in
+  Alcotest.(check int) "6 edges" 6 (P.num_edges h)
+
+let test_create_validates () =
+  Alcotest.(check bool) "valid accepted" true
+    (P.create ~parts:parts2 ~edges:[ [| 1; 10 |] ] |> fun h -> P.num_edges h = 1);
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Partite: edge arity differs from the number of parts")
+    (fun () -> ignore (P.create ~parts:parts2 ~edges:[ [| 1 |] ]));
+  Alcotest.check_raises "foreign vertex"
+    (Invalid_argument "Partite: vertex 99 is not in part 1") (fun () ->
+      ignore (P.create ~parts:parts2 ~edges:[ [| 1; 99 |] ]))
+
+let test_sigma_pi () =
+  let h = P.complete ~parts:parts2 in
+  let s = P.sigma_z ~part:0 ~z:1 h.P.edges in
+  Alcotest.(check int) "sigma keeps whole edges" 2 (List.length s);
+  Alcotest.(check bool) "all contain z" true (List.for_all (fun e -> e.(0) = 1) s);
+  let p = P.pi_z ~part:0 ~z:1 h.P.edges in
+  Alcotest.(check int) "pi strips z" 2 (List.length p);
+  Alcotest.(check bool) "pi arity" true (List.for_all (fun e -> Array.length e = 1) p)
+
+let test_pi_dedups () =
+  (* Two identical edges would project to the same tail. *)
+  let edges = [ [| 1; 10 |]; [| 1; 10 |] ] in
+  let p = P.pi_z ~part:0 ~z:1 edges in
+  Alcotest.(check int) "set semantics" 1 (List.length p)
+
+let test_pi_middle_part () =
+  let h = P.complete ~parts:[| [| 1; 2 |]; [| 3; 4 |]; [| 5 |] |] in
+  let p = P.pi_z ~part:1 ~z:3 h.P.edges in
+  Alcotest.(check int) "2 tails" 2 (List.length p);
+  Alcotest.(check bool) "tail skips middle" true
+    (List.for_all (fun e -> Array.length e = 2 && e.(1) = 5) p)
+
+let test_vertices_of_edges () =
+  let u = P.vertices_of_edges [ [| 1; 10 |]; [| 2; 10 |] ] in
+  Alcotest.(check bool) "union" true (Intset.equal u (Intset.of_list [ 1; 2; 10 ]))
+
+let test_tail_key () =
+  Alcotest.(check (array int)) "drop first" [| 2; 3 |] (P.tail_key ~part:0 [| 1; 2; 3 |]);
+  Alcotest.(check (array int)) "drop middle" [| 1; 3 |] (P.tail_key ~part:1 [| 1; 2; 3 |])
+
+let test_group_by_value () =
+  let h = P.complete ~parts:parts2 in
+  let tbl = P.group_by_value h.P.edges ~f:(fun e -> e.(1)) in
+  Alcotest.(check int) "two classes" 2 (Hashtbl.length tbl);
+  Alcotest.(check int) "class size" 2 (List.length (Hashtbl.find tbl 10))
+
+let test_filter_by_value () =
+  let h = P.complete ~parts:parts2 in
+  let f e = e.(0) + e.(1) in
+  Alcotest.(check int) "filter" 1 (List.length (P.filter_by_value h ~f ~value:11))
+
+let prop_complete_count =
+  QCheck.Test.make ~name:"complete hypergraph has product-many edges"
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (a, b) ->
+      let parts = [| Array.init a (fun i -> i); Array.init b (fun i -> 100 + i) |] in
+      P.num_edges (P.complete ~parts) = a * b)
+
+let suite =
+  ( "partite",
+    [
+      Alcotest.test_case "complete 2-partite" `Quick test_complete;
+      Alcotest.test_case "complete 3-partite" `Quick test_complete_three_parts;
+      Alcotest.test_case "create validates" `Quick test_create_validates;
+      Alcotest.test_case "sigma and pi" `Quick test_sigma_pi;
+      Alcotest.test_case "pi is a set" `Quick test_pi_dedups;
+      Alcotest.test_case "pi on middle part" `Quick test_pi_middle_part;
+      Alcotest.test_case "vertex union" `Quick test_vertices_of_edges;
+      Alcotest.test_case "tail keys" `Quick test_tail_key;
+      Alcotest.test_case "group by value" `Quick test_group_by_value;
+      Alcotest.test_case "filter by value" `Quick test_filter_by_value;
+      QCheck_alcotest.to_alcotest prop_complete_count;
+    ] )

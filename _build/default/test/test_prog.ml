@@ -1,0 +1,119 @@
+(* Tests for the free-monad process programs. *)
+
+module Prog = Rme_sim.Prog
+module Memory = Rme_memory.Memory
+module Op = Rme_memory.Op
+open Prog.Infix
+
+(* Run a program to completion against a memory, as process [pid]. *)
+let rec interp m ~pid = function
+  | Prog.Return x -> x
+  | Prog.Step (loc, op, k) -> interp m ~pid (k (Memory.apply m ~pid loc op))
+
+let test_return () =
+  let m = Memory.create ~width:8 in
+  Alcotest.(check int) "return" 42 (interp m ~pid:0 (Prog.return 42))
+
+let test_read_write () =
+  let m = Memory.create ~width:8 in
+  let l = Memory.alloc m ~init:7 in
+  let p =
+    let* v = Prog.read l in
+    let* () = Prog.write l (v + 1) in
+    Prog.read l
+  in
+  Alcotest.(check int) "sequencing" 8 (interp m ~pid:0 p)
+
+let test_cas_result () =
+  let m = Memory.create ~width:8 in
+  let l = Memory.alloc m ~init:5 in
+  Alcotest.(check bool) "cas success" true
+    (interp m ~pid:0 (Prog.cas l ~expected:5 ~desired:9));
+  Alcotest.(check bool) "cas failure" false
+    (interp m ~pid:0 (Prog.cas l ~expected:5 ~desired:9));
+  Alcotest.(check int) "value" 9 (Memory.value m l)
+
+let test_fas_faa () =
+  let m = Memory.create ~width:8 in
+  let l = Memory.alloc m ~init:5 in
+  Alcotest.(check int) "fas returns old" 5 (interp m ~pid:0 (Prog.fas l 1));
+  Alcotest.(check int) "faa returns old" 1 (interp m ~pid:0 (Prog.faa l 10));
+  Alcotest.(check int) "fai returns old" 11 (interp m ~pid:0 (Prog.fai l));
+  Alcotest.(check int) "value" 12 (Memory.value m l)
+
+let test_peek () =
+  let l = 3 in
+  let p = Prog.write l 5 in
+  (match Prog.peek p with
+  | Some (loc, Op.Write 5) -> Alcotest.(check int) "loc" l loc
+  | Some _ | None -> Alcotest.fail "expected poised write");
+  Alcotest.(check bool) "returned program peeks None" true
+    (Prog.peek (Prog.return ()) = None)
+
+let test_peek_does_not_execute () =
+  let m = Memory.create ~width:8 in
+  let l = Memory.alloc m ~init:0 in
+  let p = Prog.write l 9 in
+  ignore (Prog.peek p);
+  Alcotest.(check int) "unchanged" 0 (Memory.value m l)
+
+let test_await_spins () =
+  (* [await] re-reads one location per scheduler step. *)
+  let m = Memory.create ~width:8 in
+  let l = Memory.alloc m ~init:0 in
+  let p = ref (Prog.map ignore (Prog.await l (fun v -> v = 3))) in
+  let step () =
+    match !p with
+    | Prog.Step (loc, op, k) -> p := k (Memory.apply m ~pid:0 loc op)
+    | Prog.Return () -> Alcotest.fail "returned early"
+  in
+  step ();
+  step ();
+  Alcotest.(check bool) "still spinning" true (Prog.peek !p <> None);
+  ignore (Memory.apply m ~pid:1 l (Op.Write 3));
+  step ();
+  Alcotest.(check bool) "done after condition" true (Prog.peek !p = None)
+
+let test_repeat_until () =
+  let m = Memory.create ~width:8 in
+  let l = Memory.alloc m ~init:0 in
+  let body () =
+    let* v = Prog.fai l in
+    Prog.return (if v >= 4 then Some v else None)
+  in
+  Alcotest.(check int) "loops until Some" 4 (interp m ~pid:0 (Prog.repeat_until body))
+
+let test_bind_associativity () =
+  (* (m >>= f) >>= g behaves as m >>= (fun x -> f x >>= g). *)
+  let mem () =
+    let m = Memory.create ~width:8 in
+    (m, Memory.alloc m ~init:1)
+  in
+  let f v = Prog.faa 0 v in
+  let g v = Prog.faa 0 (v * 2) in
+  let m1, _ = mem () and m2, _ = mem () in
+  let left = Prog.bind (Prog.bind (Prog.read 0) f) g in
+  let right = Prog.bind (Prog.read 0) (fun x -> Prog.bind (f x) g) in
+  Alcotest.(check int) "same result" (interp m1 ~pid:0 left) (interp m2 ~pid:0 right);
+  Alcotest.(check int) "same memory" (Memory.value m1 0) (Memory.value m2 0)
+
+let test_map () =
+  let m = Memory.create ~width:8 in
+  let l = Memory.alloc m ~init:20 in
+  let p = Prog.map (fun v -> v + 1) (Prog.read l) in
+  Alcotest.(check int) "map applies" 21 (interp m ~pid:0 p)
+
+let suite =
+  ( "prog",
+    [
+      Alcotest.test_case "return" `Quick test_return;
+      Alcotest.test_case "read/write sequencing" `Quick test_read_write;
+      Alcotest.test_case "cas returns success" `Quick test_cas_result;
+      Alcotest.test_case "fas/faa/fai return old values" `Quick test_fas_faa;
+      Alcotest.test_case "peek reveals poised op" `Quick test_peek;
+      Alcotest.test_case "peek has no effect" `Quick test_peek_does_not_execute;
+      Alcotest.test_case "await spins one read per step" `Quick test_await_spins;
+      Alcotest.test_case "repeat_until" `Quick test_repeat_until;
+      Alcotest.test_case "bind associativity" `Quick test_bind_associativity;
+      Alcotest.test_case "map" `Quick test_map;
+    ] )

@@ -1,0 +1,148 @@
+(* Tests for Splitmix, Stats, Table, Vec and Intset. *)
+
+module Splitmix = Rme_util.Splitmix
+module Stats = Rme_util.Stats
+module Table = Rme_util.Table
+module Vec = Rme_util.Vec
+module Intset = Rme_util.Intset
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.create 42 and b = Splitmix.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix.next a) (Splitmix.next b)
+  done
+
+let test_splitmix_seeds_differ () =
+  let a = Splitmix.create 1 and b = Splitmix.create 2 in
+  Alcotest.(check bool) "different streams" false (Splitmix.next a = Splitmix.next b)
+
+let test_splitmix_int_range () =
+  let g = Splitmix.create 7 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.int g 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_splitmix_int_rejects () =
+  Alcotest.check_raises "bound 0" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (Splitmix.int (Splitmix.create 1) 0))
+
+let test_splitmix_float_range () =
+  let g = Splitmix.create 9 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.float g in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_splitmix_copy_independent () =
+  let a = Splitmix.create 5 in
+  ignore (Splitmix.next a);
+  let b = Splitmix.copy a in
+  Alcotest.(check int64) "copies agree" (Splitmix.next a) (Splitmix.next b)
+
+let test_splitmix_shuffle_permutation () =
+  let g = Splitmix.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Splitmix.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "p50" 2.5 s.Stats.p50
+
+let test_stats_single () =
+  let s = Stats.summarize [| 7.0 |] in
+  Alcotest.(check (float 1e-9)) "p95 of singleton" 7.0 s.Stats.p95;
+  Alcotest.(check (float 1e-9)) "stddev" 0.0 s.Stats.stddev
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Stats.summarize [||]))
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  loop 0
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_rowf t "%d | %s" 10 "xyz";
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (contains ~needle:"== demo ==" s);
+  Alcotest.(check bool) "has formatted row" true (contains ~needle:"10" s);
+  Alcotest.(check bool) "rowf splits on pipe" true (contains ~needle:"xyz" s)
+
+let test_table_wrong_arity () =
+  let t = Table.create ~title:"t" ~columns:[ "a" ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: 2 cells for 1 columns (table \"t\")")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  Alcotest.(check int) "push returns index" 0 (Vec.push v 10);
+  Alcotest.(check int) "push returns index" 1 (Vec.push v 20);
+  Alcotest.(check int) "get" 20 (Vec.get v 1);
+  Vec.set v 0 99;
+  Alcotest.(check int) "set" 99 (Vec.get v 0);
+  Alcotest.(check (array int)) "to_array" [| 99; 20 |] (Vec.to_array v)
+
+let test_vec_bounds () =
+  let v = Vec.of_array [| 1 |] in
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index 1 out of bounds [0, 1)")
+    (fun () -> ignore (Vec.get v 1))
+
+let test_vec_growth () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    ignore (Vec.push v i)
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  Alcotest.(check int) "content" 567 (Vec.get v 567)
+
+let test_intset_encode_decode () =
+  let s = Intset.of_list [ 0; 3; 5 ] in
+  Alcotest.(check int) "encode" 0b101001 (Intset.encode s);
+  Alcotest.(check bool) "roundtrip" true (Intset.equal s (Intset.decode (Intset.encode s)))
+
+let test_intset_of_range () =
+  Alcotest.(check int) "cardinality" 5 (Intset.cardinal (Intset.of_range 2 6));
+  Alcotest.(check bool) "empty when lo > hi" true (Intset.is_empty (Intset.of_range 3 2))
+
+let prop_encode_decode =
+  QCheck.Test.make ~name:"intset encode/decode roundtrip"
+    QCheck.(list_of_size Gen.(int_bound 10) (int_range 0 61))
+    (fun l ->
+      let s = Intset.of_list l in
+      Intset.equal s (Intset.decode (Intset.encode s)))
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "splitmix determinism" `Quick test_splitmix_deterministic;
+      Alcotest.test_case "splitmix seed sensitivity" `Quick test_splitmix_seeds_differ;
+      Alcotest.test_case "splitmix int bound" `Quick test_splitmix_int_range;
+      Alcotest.test_case "splitmix int rejects 0" `Quick test_splitmix_int_rejects;
+      Alcotest.test_case "splitmix float range" `Quick test_splitmix_float_range;
+      Alcotest.test_case "splitmix copy" `Quick test_splitmix_copy_independent;
+      Alcotest.test_case "splitmix shuffle permutes" `Quick test_splitmix_shuffle_permutation;
+      Alcotest.test_case "stats summary" `Quick test_stats_summary;
+      Alcotest.test_case "stats singleton" `Quick test_stats_single;
+      Alcotest.test_case "stats empty rejected" `Quick test_stats_empty;
+      Alcotest.test_case "table renders" `Quick test_table_render;
+      Alcotest.test_case "table arity checked" `Quick test_table_wrong_arity;
+      Alcotest.test_case "vec basics" `Quick test_vec_basic;
+      Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+      Alcotest.test_case "vec growth" `Quick test_vec_growth;
+      Alcotest.test_case "intset encode/decode" `Quick test_intset_encode_decode;
+      Alcotest.test_case "intset of_range" `Quick test_intset_of_range;
+      QCheck_alcotest.to_alcotest prop_encode_decode;
+    ] )
