@@ -4,21 +4,33 @@
    the adversary.
 
    Usage:
-     dune exec bench/main.exe            # all experiments + timing
-     dune exec bench/main.exe e3         # one experiment
-     dune exec bench/main.exe time       # timing suites only
-*)
+     dune exec bench/main.exe                 # all experiments + timing
+     dune exec bench/main.exe e3              # one experiment
+     dune exec bench/main.exe time            # timing suites only
+     dune exec bench/main.exe -- -j 4 e1 e2   # shard trial cells over 4 domains
+
+   Tables are bit-identical at any -j: experiments decompose into
+   independent trial cells, the engine runs them across domains, and the
+   tables are assembled by memo lookup in canonical order. *)
 
 module E = Rme_experiments.Experiments
+module Engine = Rme_experiments.Engine
 module Table = Rme_util.Table
 
 let print_outcome tables = List.iter Table.print tables
 
 let run_experiment (id, descr, f) =
   Printf.printf "---- %s: %s ----\n%!" (String.uppercase_ascii id) descr;
+  let eng = Engine.default () in
+  let c0 = Engine.counters eng in
   let t0 = Unix.gettimeofday () in
   print_outcome (f ());
-  Printf.printf "(%s completed in %.1fs)\n\n%!" id (Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  let c1 = Engine.counters eng in
+  Printf.printf "(%s completed in %.1fs; j=%d; cells: %d computed, %d cached)\n\n%!"
+    id dt (Engine.jobs eng)
+    (c1.Engine.computed - c0.Engine.computed)
+    (c1.Engine.cached - c0.Engine.cached)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing: one probe per moving part, so the harness doubles
@@ -101,8 +113,30 @@ let run_timing () =
     (bechamel_tests ());
   Table.print t
 
+(* Accepts [-j N], [--jobs N] and [-jN]; returns the remaining args. *)
+let parse_jobs args =
+  let jobs_value v =
+    match int_of_string_opt v with
+    | Some j -> j
+    | None ->
+        Printf.eprintf "invalid -j value %S\n" v;
+        exit 1
+  in
+  let rec go jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | ("-j" | "--jobs") :: v :: rest -> go (jobs_value v) acc rest
+    | ("-j" | "--jobs") :: [] ->
+        prerr_endline "missing value after -j";
+        exit 1
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
+        go (jobs_value (String.sub a 2 (String.length a - 2))) acc rest
+    | a :: rest -> go jobs (a :: acc) rest
+  in
+  go 1 [] args
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let jobs, args = parse_jobs (Array.to_list Sys.argv |> List.tl) in
+  Engine.set_jobs jobs;
   match args with
   | [] ->
       List.iter run_experiment E.all;

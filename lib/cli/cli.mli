@@ -1,0 +1,15 @@
+(** The [rme] command-line interface as a library, so tests can drive
+    the cmdliner terms in-process.
+
+    Subcommands:
+    - [rme locks] — list the lock algorithms
+    - [rme simulate --lock km ...] — run a workload through the harness
+    - [rme adversary --lock rcas ...] — run the lower-bound construction
+    - [rme lemma ...] — solve a Process-Hiding instance
+    - [rme experiment e1 .. f1 | all [-j N]] — regenerate the tables,
+      optionally sharding trial cells over [N] domains (bit-identical
+      output at any [N]). *)
+
+val eval : ?argv:string array -> unit -> int
+(** Evaluate the [rme] command group and return the exit code.
+    [argv] defaults to [Sys.argv]; [argv.(0)] is the program name. *)

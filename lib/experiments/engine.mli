@@ -1,0 +1,126 @@
+(** The multicore experiment engine.
+
+    Experiments decompose into independent {e trial cells} — one harness
+    run, fully identified by (lock, n, w, seed, schedule, crash config) —
+    or {e adversary cells} (one lower-bound construction run). The engine
+    runs the missing cells of a batch across a {!Rme_util.Pool} of
+    domains and memoises every result by its cell key, so:
+
+    - tables are assembled by key lookup in canonical enumeration order,
+      which makes the output {e bit-identical} to a sequential run
+      regardless of how the domains interleave;
+    - a cell shared by several experiments (E1/E6 share their n=32
+      sweep, E2 feeds E7b and A3, A2's k=w+1 column is E3's default) is
+      computed exactly once per engine.
+
+    Every cell derives its own Splitmix scheduling/crash RNG inside
+    [Harness.run] from the seeds in its key; no RNG state is shared
+    between cells, which is what makes the decomposition sound. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] makes an engine over a fresh pool ([jobs]
+    defaults to 1 — sequential; [0] means auto-detect) and an empty
+    memo cache. *)
+
+val jobs : t -> int
+val shutdown : t -> unit
+
+val default : unit -> t
+(** The process-wide engine the experiment functions use when no
+    [?engine] is passed; starts sequential ([jobs = 1]). *)
+
+val set_jobs : int -> unit
+(** Replace the default engine by one of the given parallelism (no-op
+    if it already has it). The memo cache of the old default engine is
+    dropped. This is what the [-j N] flags of [bench/main.exe] and
+    [rme experiment] call. *)
+
+(** {1 Harness trial cells} *)
+
+type cell = {
+  lock : Rme_sim.Lock_intf.factory;
+  n : int;
+  width : int;
+  model : Rme_memory.Rmr.model;
+  seed : int;  (** scheduling seed ([Harness.Random_policy]). *)
+  superpassages : int;
+  crashes : Rme_sim.Harness.crash_policy;
+  allow_cs_crash : bool;
+  max_crashes : int;
+}
+
+val cell :
+  ?superpassages:int ->
+  ?crashes:Rme_sim.Harness.crash_policy ->
+  ?allow_cs_crash:bool ->
+  ?max_crashes:int ->
+  seed:int ->
+  n:int ->
+  width:int ->
+  model:Rme_memory.Rmr.model ->
+  Rme_sim.Lock_intf.factory ->
+  cell
+(** Defaults: 1 super-passage, no crashes, no CS crashes, at most 1
+    crash per process — the harness defaults. *)
+
+type cell_result = {
+  ok : bool;
+  max_passage_rmr : int;
+  mean_passage_rmr : float;
+  total_crashes : int;
+  total_rmrs : int;  (** summed over processes. *)
+  cs_entries : int;  (** summed over processes. *)
+  max_bypass : int;  (** worst over processes. *)
+}
+
+val prefetch : t -> cell list -> unit
+(** Compute every not-yet-memoised cell of the batch in parallel
+    (duplicate keys within the batch are computed once). Updates the
+    {!counters}: [computed] by the number of runs performed, [cached]
+    by the number of requests served from the memo. *)
+
+val get : t -> cell -> cell_result
+(** Memo lookup; computes inline (sequentially) on a miss. Does not
+    touch the [cached] counter — experiments [prefetch] their whole
+    batch first and use [get] only to format tables. *)
+
+(** {1 Adversary cells} *)
+
+type adv_cell = {
+  a_lock : Rme_sim.Lock_intf.factory;
+  a_n : int;
+  a_width : int;
+  a_model : Rme_memory.Rmr.model;
+  a_k : int option;  (** contention threshold; [None] = default. *)
+}
+
+val adv_cell :
+  ?k:int ->
+  n:int ->
+  width:int ->
+  model:Rme_memory.Rmr.model ->
+  Rme_sim.Lock_intf.factory ->
+  adv_cell
+
+type adv_result = { rounds : int; bound : float; survivors : int }
+
+val prefetch_adv : t -> adv_cell list -> unit
+val get_adv : t -> adv_cell -> adv_result
+
+(** {1 Generic parallel map} *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over the engine's pool, without
+    memoisation — for experiment stages that are not harness runs
+    (E4's lemma families, A3's solo machine runs). *)
+
+(** {1 Counters} *)
+
+type counters = { computed : int; cached : int }
+
+val counters : t -> counters
+(** Cumulative cells computed / served from the memo cache since the
+    engine was created. Deterministic for a given sequence of
+    [prefetch] batches — independent of [jobs]. *)

@@ -6,21 +6,19 @@ module H = Rme_sim.Harness
 module Lock_intf = Rme_sim.Lock_intf
 module Rmr = Rme_memory.Rmr
 module Registry = Rme_locks.Registry
-module A = Rme_core.Adversary
 module Bounds = Rme_core.Bounds
 module Hiding = Rme_core.Hiding
 
 type outcome = Table.t list
 
-let run_lock ?(sp = 2) ~seed ~n ~width ~model factory =
-  let cfg =
-    {
-      (H.default_config ~n ~width model) with
-      superpassages = sp;
-      policy = H.Random_policy seed;
-    }
-  in
-  H.run cfg factory
+(* Every experiment decomposes into independent trial cells, prefetches
+   the whole batch through the engine (parallel across domains, memoised
+   by cell key), then formats its tables with [Engine.get] lookups in
+   the original enumeration order — so tables are bit-identical to a
+   sequential run, and cells shared between experiments are computed
+   once per process. *)
+
+let engine_of = function Some e -> e | None -> Engine.default ()
 
 (* ------------------------------------------------------------------ *)
 (* E1: the RMR landscape across algorithms (the measured version of the
@@ -40,7 +38,24 @@ let theory_of (factory : Lock_intf.factory) ~n ~w =
   | "epoch-mcs" -> "O(1) (system-wide)"
   | _ -> "?"
 
-let e1_lock_landscape ?(seed = 42) ?(width = 16) ?(ns = [ 2; 4; 8; 16; 32; 64 ]) () =
+let e1_lock_landscape ?engine ?(seed = 42) ?(width = 16) ?(ns = [ 2; 4; 8; 16; 32; 64 ]) () =
+  let eng = engine_of engine in
+  let cell ~model ~n factory =
+    Engine.cell ~superpassages:2 ~seed ~n ~width ~model factory
+  in
+  Engine.prefetch eng
+    (List.concat_map
+       (fun model ->
+         List.concat_map
+           (fun (factory : Lock_intf.factory) ->
+             List.filter_map
+               (fun n ->
+                 if Lock_intf.supports factory ~n ~width then
+                   Some (cell ~model ~n factory)
+                 else None)
+               ns)
+           Registry.all)
+       Rmr.all_models);
   List.map
     (fun model ->
       let t =
@@ -60,8 +75,9 @@ let e1_lock_landscape ?(seed = 42) ?(width = 16) ?(ns = [ 2; 4; 8; 16; 32; 64 ])
             List.map
               (fun n ->
                 if Lock_intf.supports factory ~n ~width then begin
-                  let r = run_lock ~seed ~n ~width ~model factory in
-                  if r.H.ok then string_of_int r.H.max_passage_rmr else "FAIL"
+                  let r = Engine.get eng (cell ~model ~n factory) in
+                  if r.Engine.ok then string_of_int r.Engine.max_passage_rmr
+                  else "FAIL"
                 end
                 else "n/a")
               ns
@@ -77,8 +93,18 @@ let e1_lock_landscape ?(seed = 42) ?(width = 16) ?(ns = [ 2; 4; 8; 16; 32; 64 ])
 (* ------------------------------------------------------------------ *)
 (* E2: the word-size tradeoff of the Katzan–Morrison lock. *)
 
-let e2_word_size_tradeoff ?(seed = 7) ?(ns = [ 16; 64; 256; 1024 ])
+let e2_word_size_tradeoff ?engine ?(seed = 7) ?(ns = [ 16; 64; 256; 1024 ])
     ?(ws = [ 2; 4; 8; 16; 32; 62 ]) () =
+  let eng = engine_of engine in
+  let cell ~model ~n ~w =
+    Engine.cell ~superpassages:1 ~seed ~n ~width:w ~model
+      Rme_locks.Katzan_morrison.factory
+  in
+  Engine.prefetch eng
+    (List.concat_map
+       (fun model ->
+         List.concat_map (fun n -> List.map (fun w -> cell ~model ~n ~w) ws) ns)
+       Rmr.all_models);
   List.map
     (fun model ->
       let t =
@@ -99,13 +125,11 @@ let e2_word_size_tradeoff ?(seed = 7) ?(ns = [ 16; 64; 256; 1024 ])
           let cells =
             List.concat_map
               (fun w ->
-                let r =
-                  run_lock ~sp:1 ~seed ~n ~width:w ~model
-                    Rme_locks.Katzan_morrison.factory
-                in
+                let r = Engine.get eng (cell ~model ~n ~w) in
                 let levels = Bounds.tree_levels ~n ~b:(min w n) in
                 [
-                  (if r.H.ok then string_of_int r.H.max_passage_rmr else "FAIL");
+                  (if r.Engine.ok then string_of_int r.Engine.max_passage_rmr
+                   else "FAIL");
                   string_of_int levels;
                 ])
               ws
@@ -118,7 +142,25 @@ let e2_word_size_tradeoff ?(seed = 7) ?(ns = [ 16; 64; 256; 1024 ])
 (* ------------------------------------------------------------------ *)
 (* E3: rounds forced by the lower-bound adversary. *)
 
-let e3_adversary_bound ?(ns = [ 64; 256; 1024; 4096 ]) ?(ws = [ 4; 8; 16; 32 ]) () =
+let e3_adversary_bound ?engine ?(ns = [ 64; 256; 1024; 4096 ]) ?(ws = [ 4; 8; 16; 32 ]) () =
+  let eng = engine_of engine in
+  let cell ~model ~factory ~n ~w = Engine.adv_cell ~n ~width:w ~model factory in
+  Engine.prefetch_adv eng
+    (List.concat_map
+       (fun model ->
+         List.concat_map
+           (fun (factory : Lock_intf.factory) ->
+             List.concat_map
+               (fun n ->
+                 List.filter_map
+                   (fun w ->
+                     if Lock_intf.supports factory ~n ~width:w then
+                       Some (cell ~model ~factory ~n ~w)
+                     else None)
+                   ws)
+               ns)
+           Registry.recoverable)
+       Rmr.all_models);
   List.concat_map
     (fun model ->
       List.map
@@ -133,8 +175,7 @@ let e3_adversary_bound ?(ns = [ 64; 256; 1024; 4096 ]) ?(ws = [ 4; 8; 16; 32 ]) 
               ~columns:
                 ("n"
                 :: List.concat_map
-                     (fun w ->
-                       [ Printf.sprintf "w=%d" w; "bound"; "surv" ])
+                     (fun w -> [ Printf.sprintf "w=%d" w; "bound"; "surv" ])
                      ws)
           in
           List.iter
@@ -143,12 +184,11 @@ let e3_adversary_bound ?(ns = [ 64; 256; 1024; 4096 ]) ?(ws = [ 4; 8; 16; 32 ]) 
                 List.concat_map
                   (fun w ->
                     if Lock_intf.supports factory ~n ~width:w then begin
-                      let cfg = A.default_config ~n ~width:w model in
-                      let r = A.run cfg factory in
+                      let r = Engine.get_adv eng (cell ~model ~factory ~n ~w) in
                       [
-                        string_of_int r.A.rounds_completed;
-                        Printf.sprintf "%.1f" r.A.predicted_lower_bound;
-                        string_of_int (Intset.cardinal r.A.survivors);
+                        string_of_int r.Engine.rounds;
+                        Printf.sprintf "%.1f" r.Engine.bound;
+                        string_of_int r.Engine.survivors;
                       ]
                     end
                     else [ "n/a"; "-"; "-" ])
@@ -175,7 +215,8 @@ let e4_families : (string * (y:int -> Rme_core.Partite.edge -> int)) list =
         Array.fold_left (fun acc p -> acc lxor (p land 1)) y e);
   ]
 
-let e4_hiding_lemma ?(seed = 99) ?(m = 3) ?(trials = 50) () =
+let e4_hiding_lemma ?engine ?(seed = 99) ?(m = 3) ?(trials = 50) () =
+  let eng = engine_of engine in
   let p = Hiding.paper_params ~ell:1 ~delta:1.0 in
   let gsize = Hiding.min_group_size p in
   let groups = Array.init m (fun i -> Array.init gsize (fun j -> (i * gsize) + j)) in
@@ -189,29 +230,31 @@ let e4_hiding_lemma ?(seed = 99) ?(m = 3) ?(trials = 50) () =
       ~columns:
         [ "operation family"; "solved"; "verify"; "min |I_D|"; "m/2"; "query verify" ]
   in
-  List.iter
-    (fun (name, f) ->
-      let sol = Hiding.solve p ~groups ~f ~y0:0 in
-      let verified =
-        match Hiding.verify sol ~f with Ok () -> "ok" | Error e -> "FAIL: " ^ e
-      in
-      let rng = Splitmix.create seed in
-      let v = Hiding.all_v sol in
-      let budget = int_of_float (p.Hiding.delta *. float_of_int (Intset.cardinal v)) in
-      let pool = Array.concat (Array.to_list groups) in
-      let min_id = ref max_int in
-      let query_ok = ref true in
-      for _ = 1 to trials do
-        Splitmix.shuffle rng pool;
-        let d =
-          Array.sub pool 0 (Splitmix.int rng (budget + 1))
-          |> Array.fold_left (fun acc x -> Intset.add x acc) Intset.empty
+  (* Each family is an independent solve + adversarial-query trial run
+     (with its own RNG from [seed]): one parallel task per family. *)
+  let rows =
+    Engine.map eng
+      (fun (name, f) ->
+        let sol = Hiding.solve p ~groups ~f ~y0:0 in
+        let verified =
+          match Hiding.verify sol ~f with Ok () -> "ok" | Error e -> "FAIL: " ^ e
         in
-        let hs = Hiding.query sol ~d in
-        min_id := min !min_id (List.length hs);
-        if Hiding.verify_query sol ~f ~d hs <> Ok () then query_ok := false
-      done;
-      Table.add_row t
+        let rng = Splitmix.create seed in
+        let v = Hiding.all_v sol in
+        let budget = int_of_float (p.Hiding.delta *. float_of_int (Intset.cardinal v)) in
+        let pool = Array.concat (Array.to_list groups) in
+        let min_id = ref max_int in
+        let query_ok = ref true in
+        for _ = 1 to trials do
+          Splitmix.shuffle rng pool;
+          let d =
+            Array.sub pool 0 (Splitmix.int rng (budget + 1))
+            |> Array.fold_left (fun acc x -> Intset.add x acc) Intset.empty
+          in
+          let hs = Hiding.query sol ~d in
+          min_id := min !min_id (List.length hs);
+          if Hiding.verify_query sol ~f ~d hs <> Ok () then query_ok := false
+        done;
         [
           name;
           string_of_int (Array.length sol.Hiding.groups);
@@ -220,14 +263,33 @@ let e4_hiding_lemma ?(seed = 99) ?(m = 3) ?(trials = 50) () =
           Printf.sprintf "%.1f" (float_of_int m /. 2.0);
           (if !query_ok then "ok" else "FAIL");
         ])
-    e4_families;
+      e4_families
+  in
+  List.iter (Table.add_row t) rows;
   [ t ]
 
 (* ------------------------------------------------------------------ *)
 (* E5: recovery cost under increasing crash rates. *)
 
-let e5_crash_cost ?(seed = 5) ?(n = 8)
+let e5_crash_cost ?engine ?(seed = 5) ?(n = 8)
     ?(probs = [ 0.0; 0.01; 0.02; 0.05; 0.1; 0.2 ]) () =
+  let eng = engine_of engine in
+  let superpassages = 4 in
+  let cell ~model ~factory ~prob =
+    Engine.cell ~superpassages
+      ~crashes:
+        (if prob = 0.0 then H.No_crashes
+         else H.Crash_prob { prob; seed = seed * 31 })
+      ~allow_cs_crash:true ~max_crashes:6 ~seed ~n ~width:16 ~model factory
+  in
+  Engine.prefetch eng
+    (List.concat_map
+       (fun model ->
+         List.concat_map
+           (fun (factory : Lock_intf.factory) ->
+             List.map (fun prob -> cell ~model ~factory ~prob) probs)
+           Registry.recoverable)
+       Rmr.all_models);
   List.map
     (fun model ->
       let t =
@@ -246,34 +308,17 @@ let e5_crash_cost ?(seed = 5) ?(n = 8)
           let cells =
             List.map
               (fun prob ->
-                let cfg =
-                  {
-                    (H.default_config ~n ~width:16 model) with
-                    superpassages = 4;
-                    policy = H.Random_policy seed;
-                    crashes =
-                      (if prob = 0.0 then H.No_crashes
-                       else H.Crash_prob { prob; seed = seed * 31 });
-                    allow_cs_crash = true;
-                    max_crashes_per_process = 6;
-                  }
-                in
-                let r = H.run cfg factory in
-                if r.H.ok then begin
+                let r = Engine.get eng (cell ~model ~factory ~prob) in
+                if r.Engine.ok then begin
                   (* RMRs per super-passage: the true cost of recovery —
                      crashes split super-passages into more (cheaper)
                      passages, so the per-passage mean alone understates
                      the recovery overhead. *)
-                  let work =
-                    Array.fold_left
-                      (fun acc (p : H.proc_stats) ->
-                        acc + p.H.total_rmrs - p.H.cs_entries)
-                      0 r.H.procs
-                  in
-                  let superpassages = n * cfg.H.superpassages in
+                  let work = r.Engine.total_rmrs - r.Engine.cs_entries in
+                  let sps = n * superpassages in
                   Printf.sprintf "%.1f ~ %.1f /%d"
-                    (float_of_int work /. float_of_int superpassages)
-                    r.H.mean_passage_rmr r.H.total_crashes
+                    (float_of_int work /. float_of_int sps)
+                    r.Engine.mean_passage_rmr r.Engine.total_crashes
                 end
                 else "FAIL")
               probs
@@ -284,9 +329,25 @@ let e5_crash_cost ?(seed = 5) ?(n = 8)
     Rmr.all_models
 
 (* ------------------------------------------------------------------ *)
-(* E6: CC vs DSM side by side. *)
+(* E6: CC vs DSM side by side. The seed and shape deliberately match
+   E1's n=32 column, so when both experiments run in one process every
+   E6 cell is a memo-cache hit. *)
 
-let e6_model_comparison ?(seed = 11) ?(n = 32) () =
+let e6_model_comparison ?engine ?(seed = 42) ?(n = 32) () =
+  let eng = engine_of engine in
+  let cell ~model factory =
+    Engine.cell ~superpassages:2 ~seed ~n ~width:16 ~model factory
+  in
+  Engine.prefetch eng
+    (List.concat_map
+       (fun model ->
+         List.filter_map
+           (fun (factory : Lock_intf.factory) ->
+             if Lock_intf.supports factory ~n ~width:16 then
+               Some (cell ~model factory)
+             else None)
+           Registry.all)
+       Rmr.all_models);
   let t =
     Table.create
       ~title:
@@ -296,17 +357,18 @@ let e6_model_comparison ?(seed = 11) ?(n = 32) () =
   in
   List.iter
     (fun (factory : Lock_intf.factory) ->
-      let cell model =
+      let side model =
         if Lock_intf.supports factory ~n ~width:16 then begin
-          let r = run_lock ~seed ~n ~width:16 ~model factory in
-          if r.H.ok then
-            (string_of_int r.H.max_passage_rmr, Printf.sprintf "%.1f" r.H.mean_passage_rmr)
+          let r = Engine.get eng (cell ~model factory) in
+          if r.Engine.ok then
+            ( string_of_int r.Engine.max_passage_rmr,
+              Printf.sprintf "%.1f" r.Engine.mean_passage_rmr )
           else ("FAIL", "-")
         end
         else ("n/a", "-")
       in
-      let cc_max, cc_mean = cell Rmr.Cc in
-      let dsm_max, dsm_mean = cell Rmr.Dsm in
+      let cc_max, cc_mean = side Rmr.Cc in
+      let dsm_max, dsm_mean = side Rmr.Dsm in
       Table.add_row t [ factory.Lock_intf.name; cc_max; cc_mean; dsm_max; dsm_mean ])
     Registry.all;
   [ t ]
@@ -314,7 +376,8 @@ let e6_model_comparison ?(seed = 11) ?(n = 32) () =
 (* ------------------------------------------------------------------ *)
 (* E7: the min(log_w n, log n / log log n) crossover. *)
 
-let e7_crossover ?(n = 65536) ?(ws = [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 62 ]) () =
+let e7_crossover ?engine ?(n = 65536) ?(ws = [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 62 ]) () =
+  let eng = engine_of engine in
   let t =
     Table.create
       ~title:
@@ -338,8 +401,15 @@ let e7_crossover ?(n = 65536) ?(ws = [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 62 ]) 
           (if lwn <= lll then "word-size term" else "log/loglog term");
         ])
     ws;
-  (* Measured companion: KM at a smaller n across the crossover. *)
+  (* Measured companion: KM at a smaller n across the crossover. The
+     seed matches E2, so the shared (n=1024, w) cells cache-hit. *)
   let n_meas = 1024 in
+  let ws_meas = [ 2; 4; 8; 10; 16; 32 ] in
+  let cell w =
+    Engine.cell ~superpassages:1 ~seed:7 ~n:n_meas ~width:w ~model:Rmr.Cc
+      Rme_locks.Katzan_morrison.factory
+  in
+  Engine.prefetch eng (List.map cell ws_meas);
   let t2 =
     Table.create
       ~title:
@@ -350,18 +420,15 @@ let e7_crossover ?(n = 65536) ?(ws = [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 62 ]) 
   in
   List.iter
     (fun w ->
-      let r =
-        run_lock ~sp:1 ~seed:13 ~n:n_meas ~width:w ~model:Rmr.Cc
-          Rme_locks.Katzan_morrison.factory
-      in
+      let r = Engine.get eng (cell w) in
       Table.add_row t2
         [
           string_of_int w;
-          (if r.H.ok then string_of_int r.H.max_passage_rmr else "FAIL");
+          (if r.Engine.ok then string_of_int r.Engine.max_passage_rmr else "FAIL");
           Printf.sprintf "%.0f" (Bounds.km_upper ~n:n_meas ~w);
           Printf.sprintf "%.2f" (Bounds.theorem1_lower ~n:n_meas ~w);
         ])
-    [ 2; 4; 8; 10; 16; 32 ];
+    ws_meas;
   [ t; t2 ]
 
 (* ------------------------------------------------------------------ *)
@@ -369,7 +436,23 @@ let e7_crossover ?(n = 65536) ?(ws = [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 62 ]) 
    under simultaneous crashes with epoch support, O(1) RMRs per passage
    are possible — the lower bound inherently needs individual crashes. *)
 
-let e8_system_wide ?(seed = 3) ?(ns = [ 4; 8; 16; 32; 64 ]) () =
+let e8_system_wide ?engine ?(seed = 3) ?(ns = [ 4; 8; 16; 32; 64 ]) () =
+  let eng = engine_of engine in
+  let cell ~crashes ~n =
+    Engine.cell ~superpassages:3 ~crashes ~allow_cs_crash:true ~seed ~n ~width:16
+      ~model:Rmr.Cc Rme_locks.Epoch_mcs.factory
+  in
+  let rows =
+    [
+      ("epoch-mcs, crash-free", H.No_crashes);
+      ("epoch-mcs, 2 system crashes", H.System_crash_script [ 10; 120 ]);
+      ("epoch-mcs, 5 system crashes", H.System_crash_script [ 5; 30; 80; 160; 300 ]);
+    ]
+  in
+  Engine.prefetch eng
+    (List.concat_map
+       (fun (_, crashes) -> List.map (fun n -> cell ~crashes ~n) ns)
+       rows);
   let t =
     Table.create
       ~title:
@@ -380,28 +463,17 @@ let e8_system_wide ?(seed = 3) ?(ns = [ 4; 8; 16; 32; 64 ]) () =
         ("lock / crashes"
         :: List.map (fun n -> Printf.sprintf "n=%d" n) ns)
   in
-  let row name crashes =
-    let cells =
-      List.map
-        (fun n ->
-          let cfg =
-            {
-              (H.default_config ~n ~width:16 Rmr.Cc) with
-              superpassages = 3;
-              policy = H.Random_policy seed;
-              crashes;
-              allow_cs_crash = true;
-            }
-          in
-          let r = H.run cfg Rme_locks.Epoch_mcs.factory in
-          if r.H.ok then string_of_int r.H.max_passage_rmr else "FAIL")
-        ns
-    in
-    Table.add_row t (name :: cells)
-  in
-  row "epoch-mcs, crash-free" H.No_crashes;
-  row "epoch-mcs, 2 system crashes" (H.System_crash_script [ 10; 120 ]);
-  row "epoch-mcs, 5 system crashes" (H.System_crash_script [ 5; 30; 80; 160; 300 ]);
+  List.iter
+    (fun (name, crashes) ->
+      let cells =
+        List.map
+          (fun n ->
+            let r = Engine.get eng (cell ~crashes ~n) in
+            if r.Engine.ok then string_of_int r.Engine.max_passage_rmr else "FAIL")
+          ns
+      in
+      Table.add_row t (name :: cells))
+    rows;
   (* Companion: the individual-crash adversary bound at the same n. *)
   let bound_row =
     "Theorem 1 bound (individual crashes)"
@@ -417,7 +489,16 @@ let e8_system_wide ?(seed = 3) ?(ns = [ 4; 8; 16; 32; 64 ]) () =
    design choice b = Θ(w) is what converts word width into fewer levels;
    forcing smaller arity at the same w gives strictly more levels. *)
 
-let a1_arity_ablation ?(seed = 9) ?(n = 256) ?(arities = [ 2; 4; 8; 16; 32 ]) () =
+let a1_arity_ablation ?engine ?(seed = 9) ?(n = 256) ?(arities = [ 2; 4; 8; 16; 32 ]) () =
+  let eng = engine_of engine in
+  let cell ~model b =
+    Engine.cell ~superpassages:1 ~seed ~n ~width:32 ~model
+      (Rme_locks.Katzan_morrison.factory_with_arity b)
+  in
+  Engine.prefetch eng
+    (List.concat_map
+       (fun b -> List.map (fun model -> cell ~model b) Rmr.all_models)
+       arities);
   let t =
     Table.create
       ~title:
@@ -429,23 +510,16 @@ let a1_arity_ablation ?(seed = 9) ?(n = 256) ?(arities = [ 2; 4; 8; 16; 32 ]) ()
   in
   List.iter
     (fun b ->
-      let cell model =
-        let cfg =
-          {
-            (H.default_config ~n ~width:32 model) with
-            superpassages = 1;
-            policy = H.Random_policy seed;
-          }
-        in
-        let r = H.run cfg (Rme_locks.Katzan_morrison.factory_with_arity b) in
-        if r.H.ok then string_of_int r.H.max_passage_rmr else "FAIL"
+      let side model =
+        let r = Engine.get eng (cell ~model b) in
+        if r.Engine.ok then string_of_int r.Engine.max_passage_rmr else "FAIL"
       in
       Table.add_row t
         [
           string_of_int b;
           string_of_int (Bounds.tree_levels ~n ~b);
-          cell Rmr.Cc;
-          cell Rmr.Dsm;
+          side Rmr.Cc;
+          side Rmr.Dsm;
         ])
     arities;
   [ t ]
@@ -453,9 +527,19 @@ let a1_arity_ablation ?(seed = 9) ?(n = 256) ?(arities = [ 2; 4; 8; 16; 32 ]) ()
 (* A2: ablation — the adversary's contention threshold k (the paper's
    w^d). Larger k merges more processes per hiding group: rounds shrink
    by at most a constant factor (log_{k} n vs log_w n), never below the
-   bound. *)
+   bound. At w=16 the first column, k=17, is the default threshold —
+   the same cell E3 computes. *)
 
-let a2_k_ablation ?(n = 1024) ?(w = 16) ?(ks = [ 17; 24; 32; 64; 128 ]) () =
+let a2_k_ablation ?engine ?(n = 1024) ?(w = 16) ?(ks = [ 17; 24; 32; 64; 128 ]) () =
+  let eng = engine_of engine in
+  let cell ~factory k = Engine.adv_cell ~k ~n ~width:w ~model:Rmr.Cc factory in
+  Engine.prefetch_adv eng
+    (List.concat_map
+       (fun (factory : Lock_intf.factory) ->
+         if Lock_intf.supports factory ~n ~width:w then
+           List.map (fun k -> cell ~factory k) ks
+         else [])
+       Registry.recoverable);
   let t =
     Table.create
       ~title:
@@ -472,11 +556,8 @@ let a2_k_ablation ?(n = 1024) ?(w = 16) ?(ks = [ 17; 24; 32; 64; 128 ]) () =
       let cells =
         List.map
           (fun k ->
-            if Lock_intf.supports factory ~n ~width:w then begin
-              let cfg = { (A.default_config ~n ~width:w Rmr.Cc) with A.k } in
-              let r = A.run cfg factory in
-              string_of_int r.A.rounds_completed
-            end
+            if Lock_intf.supports factory ~n ~width:w then
+              string_of_int (Engine.get_adv eng (cell ~factory k)).Engine.rounds
             else "n/a")
           ks
       in
@@ -488,22 +569,19 @@ let a2_k_ablation ?(n = 1024) ?(w = 16) ?(ks = [ 17; 24; 32; 64; 128 ]) () =
    algorithm is adaptive: O(min(k, log_w n)) for k concurrent
    contenders. Our implementation is the non-adaptive O(log_w n) core
    (DESIGN.md documents the simplification): a solo passage still climbs
-   every level. This ablation measures that gap honestly. *)
+   every level. This ablation measures that gap honestly. The contended
+   cells share E2's (n=256, w) sweep. *)
 
-let a3_adaptivity ?(n = 256) ?(ws = [ 4; 8; 16; 32 ]) () =
-  let t =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "A3 (ablation): contention adaptivity at n=%d (CC) — our KM core \
-            pays ceil(log_w n) levels even solo; the full algorithm of [19] \
-            would pay O(min(k, log_w n))"
-           n)
-      ~columns:[ "w"; "solo passage RMRs"; "contended max RMRs"; "levels" ]
+let a3_adaptivity ?engine ?(n = 256) ?(ws = [ 4; 8; 16; 32 ]) () =
+  let eng = engine_of engine in
+  let contended w =
+    Engine.cell ~superpassages:1 ~seed:7 ~n ~width:w ~model:Rmr.Cc
+      Rme_locks.Katzan_morrison.factory
   in
-  List.iter
-    (fun w ->
-      let solo =
+  Engine.prefetch eng (List.map contended ws);
+  let solos =
+    Engine.map eng
+      (fun w ->
         let m =
           Rme_core.Machine.create ~n ~width:w ~model:Rmr.Cc
             Rme_locks.Katzan_morrison.factory
@@ -514,23 +592,30 @@ let a3_adaptivity ?(n = 256) ?(ws = [ 4; 8; 16; 32 ]) () =
         in
         assert ok;
         (* exclude the single CS step (a write: 1 RMR) *)
-        Rme_core.Machine.total_rmrs m ~pid:0 - 1
-      in
-      let contended =
-        let r =
-          run_lock ~sp:1 ~seed:21 ~n ~width:w ~model:Rmr.Cc
-            Rme_locks.Katzan_morrison.factory
-        in
-        if r.H.ok then string_of_int r.H.max_passage_rmr else "FAIL"
-      in
+        Rme_core.Machine.total_rmrs m ~pid:0 - 1)
+      ws
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "A3 (ablation): contention adaptivity at n=%d (CC) — our KM core \
+            pays ceil(log_w n) levels even solo; the full algorithm of [19] \
+            would pay O(min(k, log_w n))"
+           n)
+      ~columns:[ "w"; "solo passage RMRs"; "contended max RMRs"; "levels" ]
+  in
+  List.iter2
+    (fun w solo ->
+      let r = Engine.get eng (contended w) in
       Table.add_row t
         [
           string_of_int w;
           string_of_int solo;
-          contended;
+          (if r.Engine.ok then string_of_int r.Engine.max_passage_rmr else "FAIL");
           string_of_int (Bounds.tree_levels ~n ~b:(min w n));
         ])
-    ws;
+    ws solos;
   [ t ]
 
 (* F1: fairness. The RME literature studies FCFS and starvation-freedom
@@ -538,7 +623,17 @@ let a3_adaptivity ?(n = 256) ?(ws = [ 4; 8; 16; 32 ]) () =
    properties"); the harness measures them as bypass counts: how many
    critical sections others completed between a request and its grant. *)
 
-let f1_fairness ?(seed = 31) ?(n = 8) ?(sp = 6) () =
+let f1_fairness ?engine ?(seed = 31) ?(n = 8) ?(sp = 6) () =
+  let eng = engine_of engine in
+  let cell factory =
+    Engine.cell ~superpassages:sp ~seed ~n ~width:16 ~model:Rmr.Cc factory
+  in
+  Engine.prefetch eng
+    (List.filter_map
+       (fun (factory : Lock_intf.factory) ->
+         if Lock_intf.supports factory ~n ~width:16 then Some (cell factory)
+         else None)
+       Registry.all);
   let t =
     Table.create
       ~title:
@@ -551,18 +646,8 @@ let f1_fairness ?(seed = 31) ?(n = 8) ?(sp = 6) () =
   List.iter
     (fun (factory : Lock_intf.factory) ->
       if Lock_intf.supports factory ~n ~width:16 then begin
-        let cfg =
-          {
-            (H.default_config ~n ~width:16 Rmr.Cc) with
-            superpassages = sp;
-            policy = H.Random_policy seed;
-          }
-        in
-        let r = H.run cfg factory in
-        let worst =
-          Array.fold_left (fun acc (p : H.proc_stats) -> max acc p.H.max_bypass) 0
-            r.H.procs
-        in
+        let r = Engine.get eng (cell factory) in
+        let worst = r.Engine.max_bypass in
         Table.add_row t
           [
             factory.Lock_intf.name;

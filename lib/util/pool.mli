@@ -1,0 +1,41 @@
+(** A small fixed-size domain pool with shared-counter work distribution.
+
+    [map_array] fans independent tasks out over OCaml 5 domains and
+    returns results in index order, so the output is identical to a
+    sequential run no matter how the domains interleave. The calling
+    domain participates in the work (the pool only ever adds [jobs - 1]
+    helper domains), which also guarantees progress even when every
+    helper is busy serving another map.
+
+    Tasks must be independent: they may not assume any ordering among
+    themselves, and any shared state they touch must be domain-safe.
+    The experiment engine satisfies this by giving every trial cell its
+    own memory, RNG and RMR accounting. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] returns a pool of total parallelism [jobs] (the
+    caller plus [jobs - 1] spawned domains). [jobs <= 0] selects
+    [Domain.recommended_domain_count ()]. [jobs = 1] spawns nothing and
+    makes every [map_array] run sequentially in the caller. Worker
+    domains are joined by {!shutdown}, which is also registered with
+    [at_exit]. *)
+
+val jobs : t -> int
+(** Total parallelism, including the calling domain. *)
+
+val map_array : t -> int -> (int -> 'a) -> 'a array
+(** [map_array t n f] computes [[| f 0; ...; f (n-1) |]]. Indices are
+    handed out through a shared atomic counter (chunk size 1 — trial
+    cells are coarse enough that finer chunking buys nothing), so load
+    balances dynamically; results land at their own index, keeping the
+    output order canonical. If any [f i] raises, one of the exceptions
+    is re-raised in the caller after all started tasks finish. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list t f xs] is {!map_array} over a list, preserving order. *)
+
+val shutdown : t -> unit
+(** Drain outstanding work, stop and join the helper domains.
+    Idempotent; the pool must not be used afterwards. *)

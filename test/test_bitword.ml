@@ -65,6 +65,32 @@ let test_bits_needed () =
 let test_pp () =
   Alcotest.(check string) "5 at width 4" "0101" (Format.asprintf "%a" (B.pp ~width:4) 5)
 
+(* Edge widths: the narrowest word the model admits and the widest one
+   an OCaml int can host (62 bits; 63 is out of range). *)
+let test_width_one () =
+  check_int "domain is {0,1}" 2 (B.domain_size 1);
+  check_int "1+1 wraps to 0" 0 (B.add ~width:1 1 1);
+  check_int "truncate odd" 1 (B.truncate ~width:1 17);
+  check_int "truncate even" 0 (B.truncate ~width:1 16);
+  check_int "-1 is 1" 1 (B.truncate ~width:1 (-1));
+  (* fetch-and-add through the op algebra at w=1: a mod-2 counter. *)
+  let module Op = Rme_memory.Op in
+  check_int "faa 1 from 1 wraps" 0 (Op.next_value ~width:1 (Op.Faa 1) 1);
+  check_int "faa 3 from 0 wraps" 1 (Op.next_value ~width:1 (Op.Faa 3) 0);
+  check_int "faa -1 from 0 wraps" 1 (Op.next_value ~width:1 (Op.Faa (-1)) 0)
+
+let test_width_max () =
+  check_int "mask 62 is max_int" max_int (B.mask 62);
+  check_int "max_int + 1 wraps to 0" 0 (B.add ~width:62 max_int 1);
+  check_int "max_int + 2 wraps to 1" 1 (B.add ~width:62 max_int 2);
+  check_int "truncate is identity below 2^62" 123456789 (B.truncate ~width:62 123456789);
+  let module Op = Rme_memory.Op in
+  check_int "faa wraps at the word boundary" 0
+    (Op.next_value ~width:62 (Op.Faa 1) max_int);
+  Alcotest.check_raises "width 63 faa rejected"
+    (Invalid_argument "Bitword: width 63 out of range [1, 62]") (fun () ->
+      ignore (Op.next_value ~width:63 (Op.Faa 1) 0))
+
 let prop_truncate_idempotent =
   QCheck.Test.make ~name:"truncate is idempotent"
     QCheck.(pair (int_range 1 62) (int_bound max_int))
@@ -102,6 +128,8 @@ let suite =
       Alcotest.test_case "bits list" `Quick test_bits_list;
       Alcotest.test_case "bits_needed" `Quick test_bits_needed;
       Alcotest.test_case "binary printing" `Quick test_pp;
+      Alcotest.test_case "width 1 edge cases" `Quick test_width_one;
+      Alcotest.test_case "width 62 edge cases (63 rejected)" `Quick test_width_max;
       QCheck_alcotest.to_alcotest prop_truncate_idempotent;
       QCheck_alcotest.to_alcotest prop_add_assoc;
       QCheck_alcotest.to_alcotest prop_set_then_test;

@@ -172,6 +172,63 @@ let prop_checker_agrees =
       r.H.ok
       && match C.check_result r with Some rep -> C.ok rep | None -> false)
 
+(* Differential property: for random (lock, n, w, crash-prob, seed)
+   configs, the live harness and the offline checker must agree — the
+   trace validates, and in both cost models the RMR flags recorded in
+   the trace sum to exactly the RMRs the harness charged. *)
+let prop_differential_rmr_totals =
+  let locks = Array.of_list Rme_locks.Registry.recoverable in
+  QCheck.Test.make
+    ~name:"random crashy configs: trace validates, trace RMRs = charged RMRs"
+    ~count:30
+    QCheck.(
+      quad (int_range 2 6) (int_range 0 8) (int_range 0 25) (int_range 0 100000))
+    (fun (n, w_jitter, prob_pct, seed) ->
+      let factory = locks.(seed mod Array.length locks) in
+      let width =
+        min 62 (factory.Rme_sim.Lock_intf.min_width ~n + w_jitter)
+      in
+      QCheck.assume (Rme_sim.Lock_intf.supports factory ~n ~width);
+      let prob = float_of_int prob_pct /. 100.0 in
+      List.for_all
+        (fun model ->
+          let r =
+            H.run
+              {
+                (H.default_config ~n ~width model) with
+                superpassages = 2;
+                policy = H.Random_policy seed;
+                crashes =
+                  (if prob = 0.0 then H.No_crashes
+                   else H.Crash_prob { prob; seed = seed + 1 });
+                allow_cs_crash = true;
+                max_crashes_per_process = 3;
+                record_trace = true;
+              }
+              factory
+          in
+          let checker_ok =
+            match C.check_result r with Some rep -> C.ok rep | None -> false
+          in
+          let trace_rmrs =
+            match r.H.trace with
+            | None -> -1
+            | Some t ->
+                let c = ref 0 in
+                Trace.iter
+                  (function
+                    | Trace.Step { rmr; _ } -> if rmr then incr c
+                    | Trace.Crash _ -> ())
+                  t;
+                !c
+          in
+          let charged =
+            Array.fold_left (fun acc (p : H.proc_stats) -> acc + p.H.total_rmrs) 0
+              r.H.procs
+          in
+          r.H.ok && checker_ok && trace_rmrs = charged)
+        Rmr.all_models)
+
 let suite =
   ( "checker",
     [
@@ -184,4 +241,5 @@ let suite =
       Alcotest.test_case "injected CS step caught" `Quick test_injected_cs_step_caught;
       Alcotest.test_case "report counts" `Quick test_report_counts;
       QCheck_alcotest.to_alcotest prop_checker_agrees;
+      QCheck_alcotest.to_alcotest prop_differential_rmr_totals;
     ] )

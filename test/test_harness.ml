@@ -113,6 +113,54 @@ let test_crash_script () =
   (* A crash splits the super-passage into two passages. *)
   Alcotest.(check int) "p0 has 2 passages" 2 r.H.procs.(0).H.passages
 
+let test_crash_on_first_recovery_step () =
+  (* Two back-to-back scripted crashes: the first aborts p0's entry, the
+     second fires on the very first step of the recovery passage that
+     follows. Super-passage bookkeeping must not double-count: every
+     super-passage still enters the CS exactly once, and each crash adds
+     exactly one passage. *)
+  let sp = 2 in
+  let c =
+    {
+      (cfg ~n:2 ~sp Rmr.Cc) with
+      crashes = H.Crash_script [ (0, 0); (1, 0) ];
+      max_crashes_per_process = 2;
+      record_trace = true;
+    }
+  in
+  let r = H.run c Rme_locks.Rcas.factory in
+  Alcotest.(check bool) "ok" true r.H.ok;
+  Alcotest.(check int) "p0 crashed twice" 2 r.H.procs.(0).H.crashes;
+  (let sections =
+     match r.H.trace with
+     | None -> []
+     | Some t ->
+         let acc = ref [] in
+         Rme_sim.Trace.iter
+           (function
+             | Rme_sim.Trace.Crash { pid = 0; section } -> acc := section :: !acc
+             | _ -> ())
+           t;
+         List.rev !acc
+   in
+   match sections with
+   | [ first; second ] ->
+       Alcotest.(check string) "first crash in entry" "entry"
+         (Rme_sim.Trace.section_name first);
+       Alcotest.(check string) "second crash on first recovery step" "recovery"
+         (Rme_sim.Trace.section_name second)
+   | l -> Alcotest.failf "expected 2 crash events, got %d" (List.length l));
+  Alcotest.(check int) "p1 did not crash" 0 r.H.procs.(1).H.crashes;
+  Alcotest.(check int) "each crash adds exactly one passage" (sp + 2)
+    r.H.procs.(0).H.passages;
+  Alcotest.(check int) "one CS entry per super-passage, no double-count" sp
+    r.H.procs.(0).H.cs_entries;
+  (* The offline checker agrees the trace is legal. *)
+  match Rme_sim.Checker.check_result r with
+  | None -> Alcotest.fail "no trace"
+  | Some rep ->
+      Alcotest.(check bool) "checker clean" true (Rme_sim.Checker.ok rep)
+
 let test_crash_rejected_for_nonrecoverable () =
   let c = { (cfg Rmr.Cc) with crashes = H.Crash_prob { prob = 0.1; seed = 1 } } in
   Alcotest.check_raises "refuses"
@@ -172,6 +220,8 @@ let suite =
       Alcotest.test_case "CS step excluded from passage RMRs" `Quick test_cs_rmr_excluded;
       Alcotest.test_case "probabilistic crash injection" `Quick test_crash_injection_counts;
       Alcotest.test_case "scripted crash splits passages" `Quick test_crash_script;
+      Alcotest.test_case "crash on first recovery step" `Quick
+        test_crash_on_first_recovery_step;
       Alcotest.test_case "crashes rejected for non-recoverable" `Quick
         test_crash_rejected_for_nonrecoverable;
       Alcotest.test_case "insufficient width rejected" `Quick test_width_rejected;

@@ -21,4 +21,6 @@ let () =
       Test_adversary.suite;
       Test_schedule.suite;
       Test_experiments.suite;
+      Test_parallel.suite;
+      Test_cli.suite;
     ]
