@@ -8,6 +8,14 @@
      dune exec bench/main.exe e3              # one experiment
      dune exec bench/main.exe time            # timing suites only
      dune exec bench/main.exe -- -j 4 e1 e2   # shard trial cells over 4 domains
+     dune exec bench/main.exe -- --cache-dir .rme-cache e1   # persist results
+     dune exec bench/main.exe -- --progress e2               # live ETA on stderr
+
+   A cache directory (--cache-dir, or the RME_CACHE_DIR environment
+   variable; --no-cache overrides both) persists trial-cell results
+   across runs, versioned by a code fingerprint: a rerun of identical
+   code serves every cell from memory or disk ("0 computed") with
+   byte-identical tables.
 
    Tables are bit-identical at any -j: experiments decompose into
    independent trial cells, the engine runs them across domains, and the
@@ -27,10 +35,12 @@ let run_experiment (id, descr, f) =
   print_outcome (f ());
   let dt = Unix.gettimeofday () -. t0 in
   let c1 = Engine.counters eng in
-  Printf.printf "(%s completed in %.1fs; j=%d; cells: %d computed, %d cached)\n\n%!"
-    id dt (Engine.jobs eng)
+  Printf.printf
+    "(%s completed in %.1fs; j=%d; cells: %d computed, %d cached, %d disk)\n\n%!" id
+    dt (Engine.jobs eng)
     (c1.Engine.computed - c0.Engine.computed)
     (c1.Engine.cached - c0.Engine.cached)
+    (c1.Engine.disk - c0.Engine.disk)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing: one probe per moving part, so the harness doubles
@@ -113,8 +123,16 @@ let run_timing () =
     (bechamel_tests ());
   Table.print t
 
-(* Accepts [-j N], [--jobs N] and [-jN]; returns the remaining args. *)
-let parse_jobs args =
+(* Accepts [-j N], [--jobs N], [-jN], [--cache-dir DIR], [--no-cache]
+   and [--progress]/[-v]; returns the options and the remaining args. *)
+type opts = {
+  jobs : int;
+  cache_dir : string option;
+  no_cache : bool;
+  progress : bool;
+}
+
+let parse_opts args =
   let jobs_value v =
     match int_of_string_opt v with
     | Some j -> j
@@ -122,21 +140,30 @@ let parse_jobs args =
         Printf.eprintf "invalid -j value %S\n" v;
         exit 1
   in
-  let rec go jobs acc = function
-    | [] -> (jobs, List.rev acc)
-    | ("-j" | "--jobs") :: v :: rest -> go (jobs_value v) acc rest
+  let rec go o acc = function
+    | [] -> (o, List.rev acc)
+    | ("-j" | "--jobs") :: v :: rest -> go { o with jobs = jobs_value v } acc rest
     | ("-j" | "--jobs") :: [] ->
         prerr_endline "missing value after -j";
         exit 1
+    | "--cache-dir" :: d :: rest -> go { o with cache_dir = Some d } acc rest
+    | "--cache-dir" :: [] ->
+        prerr_endline "missing value after --cache-dir";
+        exit 1
+    | "--no-cache" :: rest -> go { o with no_cache = true } acc rest
+    | ("--progress" | "-v") :: rest -> go { o with progress = true } acc rest
     | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
-        go (jobs_value (String.sub a 2 (String.length a - 2))) acc rest
-    | a :: rest -> go jobs (a :: acc) rest
+        go { o with jobs = jobs_value (String.sub a 2 (String.length a - 2)) } acc rest
+    | a :: rest -> go o (a :: acc) rest
   in
-  go 1 [] args
+  go { jobs = 1; cache_dir = None; no_cache = false; progress = false } [] args
 
 let () =
-  let jobs, args = parse_jobs (Array.to_list Sys.argv |> List.tl) in
-  Engine.set_jobs jobs;
+  let o, args = parse_opts (Array.to_list Sys.argv |> List.tl) in
+  Engine.set_jobs o.jobs;
+  Engine.set_cache_dir
+    (Engine.resolve_cache_dir ?cli:o.cache_dir ~no_cache:o.no_cache ());
+  Engine.set_progress o.progress;
   match args with
   | [] ->
       List.iter run_experiment E.all;

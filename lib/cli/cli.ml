@@ -7,6 +7,8 @@
      rme lemma ...                     solve a Process-Hiding instance
      rme experiment e1 .. f1 | all     regenerate the paper's tables
                     [-j N]             ... sharding trial cells over N domains
+                    [--cache-dir DIR]  ... reusing results across runs
+                    [--no-cache] [--progress|-v]
 *)
 
 open Cmdliner
@@ -246,9 +248,11 @@ let lemma_cmd =
 
 (* ---------------- rme experiment ---------------- *)
 
-let experiment jobs ids =
+let experiment jobs cache_dir no_cache progress ids =
   let module E = Rme_experiments.Experiments in
   Engine.set_jobs jobs;
+  Engine.set_cache_dir (Engine.resolve_cache_dir ?cli:cache_dir ~no_cache ());
+  Engine.set_progress progress;
   let eng = Engine.default () in
   let ids = if ids = [ "all" ] then List.map (fun (i, _, _) -> i) E.all else ids in
   List.iter
@@ -260,12 +264,13 @@ let experiment jobs ids =
           List.iter Rme_util.Table.print tables;
           let c1 = Engine.counters eng in
           Printf.printf
-            "(%s completed in %.1fs; j=%d; cells: %d computed, %d cached)\n\n%!"
+            "(%s completed in %.1fs; j=%d; cells: %d computed, %d cached, %d disk)\n\n%!"
             id
             (Unix.gettimeofday () -. t0)
             (Engine.jobs eng)
             (c1.Engine.computed - c0.Engine.computed)
             (c1.Engine.cached - c0.Engine.cached)
+            (c1.Engine.disk - c0.Engine.disk)
       | None ->
           Printf.eprintf "unknown experiment %S\n" id;
           exit 1)
@@ -285,9 +290,32 @@ let experiment_cmd =
             "Shard trial cells over $(docv) domains (0 = auto-detect). Tables \
              are bit-identical at any value.")
   in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist trial-cell results under $(docv) and reuse them across \
+             runs (also via $(b,RME_CACHE_DIR)). Entries are versioned by a \
+             code fingerprint; a mismatched or corrupt store is recomputed, \
+             never served.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Ignore $(b,--cache-dir) and $(b,RME_CACHE_DIR); compute everything.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress"; "v" ]
+          ~doc:"Print a live cells-done/ETA line to stderr while computing.")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper-shaped experiment tables.")
-    Term.(const experiment $ jobs $ ids)
+    Term.(const experiment $ jobs $ cache_dir $ no_cache $ progress $ ids)
 
 (* ---------------- main ---------------- *)
 

@@ -3,7 +3,11 @@ module Lock_intf = Rme_sim.Lock_intf
 module Rmr = Rme_memory.Rmr
 module Pool = Rme_util.Pool
 module Intset = Rme_util.Intset
+module Fingerprint = Rme_util.Fingerprint
 module A = Rme_core.Adversary
+module Store = Rme_store.Store
+module Codec = Rme_store.Codec
+module Registry = Rme_locks.Registry
 
 (* ------------------------------------------------------------------ *)
 (* Harness trial cells. *)
@@ -136,69 +140,295 @@ let compute_adv c =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Persistent serialisation: canonical strings for keys and results
+   (the store's on-disk line format; also the wire format a future
+   multi-process shard would speak). Keys never need decoding — disk
+   lookup works by encoding the query key — but results round-trip
+   exactly (floats in hex notation), keeping warm-store tables
+   byte-identical to computed ones. *)
+
+let cell_section = "cell"
+let adv_section = "adv"
+
+let cell_key_string_of_key (k : key) =
+  Codec.fields
+    [
+      ("lock", Codec.escape k.k_lock);
+      ("n", string_of_int k.k_n);
+      ("w", string_of_int k.k_width);
+      ("model", Codec.model_enc k.k_model);
+      ("seed", string_of_int k.k_seed);
+      ("sp", string_of_int k.k_sp);
+      ("crashes", Codec.crash_policy_enc k.k_crashes);
+      ("cs_crash", string_of_bool k.k_cs_crash);
+      ("max_crashes", string_of_int k.k_max_crashes);
+    ]
+
+let cell_key_string c = cell_key_string_of_key (key_of_cell c)
+
+let cell_result_encode (r : cell_result) =
+  Codec.fields
+    [
+      ("ok", string_of_bool r.ok);
+      ("max", string_of_int r.max_passage_rmr);
+      ("mean", Codec.float_enc r.mean_passage_rmr);
+      ("crashes", string_of_int r.total_crashes);
+      ("rmrs", string_of_int r.total_rmrs);
+      ("cs", string_of_int r.cs_entries);
+      ("bypass", string_of_int r.max_bypass);
+    ]
+
+let ( let* ) = Option.bind
+
+let cell_result_decode s =
+  let* fs = Codec.parse_fields s in
+  let get f k = Option.bind (Codec.lookup fs k) f in
+  let* ok = get Codec.bool_dec "ok" in
+  let* max_passage_rmr = get Codec.int_dec "max" in
+  let* mean_passage_rmr = get Codec.float_dec "mean" in
+  let* total_crashes = get Codec.int_dec "crashes" in
+  let* total_rmrs = get Codec.int_dec "rmrs" in
+  let* cs_entries = get Codec.int_dec "cs" in
+  let* max_bypass = get Codec.int_dec "bypass" in
+  Some
+    {
+      ok;
+      max_passage_rmr;
+      mean_passage_rmr;
+      total_crashes;
+      total_rmrs;
+      cs_entries;
+      max_bypass;
+    }
+
+let adv_key_string_of_key (k : adv_key) =
+  Codec.fields
+    [
+      ("lock", Codec.escape k.ak_lock);
+      ("n", string_of_int k.ak_n);
+      ("w", string_of_int k.ak_width);
+      ("model", Codec.model_enc k.ak_model);
+      ("k", string_of_int k.ak_k);
+    ]
+
+let adv_key_string c = adv_key_string_of_key (adv_key_of c)
+
+let adv_result_encode (r : adv_result) =
+  Codec.fields
+    [
+      ("rounds", string_of_int r.rounds);
+      ("bound", Codec.float_enc r.bound);
+      ("survivors", string_of_int r.survivors);
+    ]
+
+let adv_result_decode s =
+  let* fs = Codec.parse_fields s in
+  let get f k = Option.bind (Codec.lookup fs k) f in
+  let* rounds = get Codec.int_dec "rounds" in
+  let* bound = get Codec.float_dec "bound" in
+  let* survivors = get Codec.int_dec "survivors" in
+  Some { rounds; bound; survivors }
+
+(* The code fingerprint versioning every store entry. [schema_version]
+   is the convention-bumped part: raise it whenever harness, lock or
+   adversary semantics change in a way that alters results. The
+   registry signature invalidates automatically when locks are added,
+   renamed or change their width requirements. *)
+let schema_version = "rme-results-1"
+
+let code_fingerprint () =
+  let lock_sig (f : Lock_intf.factory) =
+    Printf.sprintf "%s:%b:%d:%d:%d" f.Lock_intf.name f.Lock_intf.recoverable
+      (f.Lock_intf.min_width ~n:2)
+      (f.Lock_intf.min_width ~n:64)
+      (f.Lock_intf.min_width ~n:4096)
+  in
+  Fingerprint.of_strings (schema_version :: List.map lock_sig Registry.all)
+
+(* ------------------------------------------------------------------ *)
 (* The engine. *)
 
-type counters = { computed : int; cached : int }
+type counters = { computed : int; cached : int; disk : int }
 
 type t = {
   pool : Pool.t;
   guard : Mutex.t;
   memo : (key, cell_result) Hashtbl.t;
   adv_memo : (adv_key, adv_result) Hashtbl.t;
+  mutable store : Store.t option;
+  mutable progress : bool;
   mutable n_computed : int;
   mutable n_cached : int;
+  mutable n_disk : int;
 }
 
-let create ?(jobs = 1) () =
+let open_store dir =
+  try Some (Store.open_ ~dir ~fingerprint:(code_fingerprint ()))
+  with e ->
+    Printf.eprintf "[rme] warning: cannot open result store %s (%s); running uncached\n%!"
+      dir (Printexc.to_string e);
+    None
+
+let create ?(jobs = 1) ?cache_dir ?(progress = false) () =
   {
     pool = Pool.create ~jobs;
     guard = Mutex.create ();
     memo = Hashtbl.create 256;
     adv_memo = Hashtbl.create 64;
+    store = (match cache_dir with None -> None | Some d -> open_store d);
+    progress;
     n_computed = 0;
     n_cached = 0;
+    n_disk = 0;
   }
 
 let jobs t = Pool.jobs t.pool
-let shutdown t = Pool.shutdown t.pool
+let cache_dir t = Option.map Store.dir t.store
+let store_stats t = Option.map Store.stats t.store
+
+(* A store failure must never take the run down: fall back to
+   uncached operation (results stay correct, just recomputed). *)
+let safe_flush t =
+  match t.store with
+  | None -> ()
+  | Some s -> (
+      try Store.flush s
+      with e ->
+        Printf.eprintf
+          "[rme] warning: result store flush failed (%s); caching disabled\n%!"
+          (Printexc.to_string e);
+        t.store <- None)
+
+let shutdown t =
+  safe_flush t;
+  Pool.shutdown t.pool
 
 let counters t =
   Mutex.lock t.guard;
-  let c = { computed = t.n_computed; cached = t.n_cached } in
+  let c = { computed = t.n_computed; cached = t.n_cached; disk = t.n_disk } in
   Mutex.unlock t.guard;
   c
 
-(* Compute the batch's missing unique keys in parallel, then commit the
+let progress_guard = Mutex.create ()
+
+let pp_eta seconds =
+  if seconds >= 90.0 then Printf.sprintf "%.0fm%02.0fs" (seconds /. 60.0) (Float.rem seconds 60.0)
+  else Printf.sprintf "%.0fs" seconds
+
+(* Compute the batch's missing unique keys — memory first, then the
+   persistent store, then in parallel over the pool — and commit the
    results under the guard. The work list preserves first-occurrence
    order, so the pool sees cells in canonical order; results merge by
    key, so the memo content is independent of domain interleaving. *)
-let prefetch_memo t table key_of compute cells =
+let prefetch_memo t table key_of compute ~section ~enc_key ~enc_res ~dec_res cells =
   let cells = Array.of_list cells in
   let total = Array.length cells in
   Mutex.lock t.guard;
   let seen = Hashtbl.create 16 in
-  let work = ref [] in
+  let missing = ref [] in
   Array.iter
     (fun c ->
       let k = key_of c in
       if not (Hashtbl.mem table k) && not (Hashtbl.mem seen k) then begin
         Hashtbl.add seen k ();
-        work := (k, c) :: !work
+        missing := (k, c) :: !missing
       end)
     cells;
-  let work = Array.of_list (List.rev !work) in
+  let missing = List.rev !missing in
+  let n_missing = List.length missing in
+  (* Disk phase: a stored value that fails to decode is corruption —
+     treat as a miss and recompute (the fresh value overwrites it). *)
+  let disk_hits = ref 0 in
+  let work =
+    List.filter
+      (fun (k, _) ->
+        match t.store with
+        | None -> true
+        | Some s -> (
+            match Store.find s ~section (enc_key k) with
+            | None -> true
+            | Some v -> (
+                match dec_res v with
+                | Some r ->
+                    Hashtbl.replace table k r;
+                    incr disk_hits;
+                    false
+                | None -> true)))
+      missing
+  in
+  let work = Array.of_list work in
+  let nw = Array.length work in
+  let n_memo = total - n_missing in
+  let n_disk = !disk_hits in
+  t.n_cached <- t.n_cached + n_memo;
+  t.n_disk <- t.n_disk + n_disk;
   Mutex.unlock t.guard;
-  let results = Pool.map_array t.pool (Array.length work) (fun i -> compute (snd work.(i))) in
+  (* Compute phase, with a live progress line when asked for one. *)
+  let show = t.progress && nw > 0 in
+  let done_count = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let last_printed = ref neg_infinity in
+  let report ~final =
+    let now = Unix.gettimeofday () in
+    Mutex.lock progress_guard;
+    if final || now -. !last_printed >= 0.1 then begin
+      last_printed := now;
+      let d = Atomic.get done_count in
+      let eta =
+        if d > 0 && d < nw then
+          Printf.sprintf " eta %s" (pp_eta ((now -. t0) /. float_of_int d *. float_of_int (nw - d)))
+        else ""
+      in
+      Printf.eprintf "\r[rme] %s cells %d/%d (computed %d/%d, disk %d, memo %d)%s%s%!"
+        (if section = adv_section then "adversary" else "trial")
+        (total - nw + d)
+        total d nw n_disk n_memo eta
+        (if final then "\n" else "")
+    end;
+    Mutex.unlock progress_guard
+  in
+  let results =
+    Pool.map_array t.pool nw (fun i ->
+        let r = compute (snd work.(i)) in
+        if show then begin
+          Atomic.incr done_count;
+          report ~final:false
+        end;
+        r)
+  in
+  if show then report ~final:true;
   Mutex.lock t.guard;
-  Array.iteri (fun i (k, _) -> Hashtbl.replace table k results.(i)) work;
-  t.n_computed <- t.n_computed + Array.length work;
-  t.n_cached <- t.n_cached + (total - Array.length work);
-  Mutex.unlock t.guard
+  Array.iteri
+    (fun i (k, _) ->
+      Hashtbl.replace table k results.(i);
+      match t.store with
+      | None -> ()
+      | Some s -> Store.add s ~section ~key:(enc_key k) ~value:(enc_res results.(i)))
+    work;
+  t.n_computed <- t.n_computed + nw;
+  Mutex.unlock t.guard;
+  safe_flush t
 
-let get_memo t table key_of compute c =
+let get_memo t table key_of compute ~section ~enc_key ~enc_res ~dec_res c =
   let k = key_of c in
   Mutex.lock t.guard;
-  let hit = Hashtbl.find_opt table k in
+  let hit =
+    match Hashtbl.find_opt table k with
+    | Some r -> Some r
+    | None -> (
+        match t.store with
+        | None -> None
+        | Some s -> (
+            match Store.find s ~section (enc_key k) with
+            | None -> None
+            | Some v -> (
+                match dec_res v with
+                | Some r ->
+                    Hashtbl.replace table k r;
+                    t.n_disk <- t.n_disk + 1;
+                    Some r
+                | None -> None)))
+  in
   Mutex.unlock t.guard;
   match hit with
   | Some r -> r
@@ -207,13 +437,32 @@ let get_memo t table key_of compute c =
       Mutex.lock t.guard;
       Hashtbl.replace table k r;
       t.n_computed <- t.n_computed + 1;
+      (match t.store with
+      | None -> ()
+      | Some s -> Store.add s ~section ~key:(enc_key k) ~value:(enc_res r));
       Mutex.unlock t.guard;
+      safe_flush t;
       r
 
-let prefetch t cells = prefetch_memo t t.memo key_of_cell compute_cell cells
-let get t c = get_memo t t.memo key_of_cell compute_cell c
-let prefetch_adv t cells = prefetch_memo t t.adv_memo adv_key_of compute_adv cells
-let get_adv t c = get_memo t t.adv_memo adv_key_of compute_adv c
+let prefetch t cells =
+  prefetch_memo t t.memo key_of_cell compute_cell ~section:cell_section
+    ~enc_key:cell_key_string_of_key ~enc_res:cell_result_encode
+    ~dec_res:cell_result_decode cells
+
+let get t c =
+  get_memo t t.memo key_of_cell compute_cell ~section:cell_section
+    ~enc_key:cell_key_string_of_key ~enc_res:cell_result_encode
+    ~dec_res:cell_result_decode c
+
+let prefetch_adv t cells =
+  prefetch_memo t t.adv_memo adv_key_of compute_adv ~section:adv_section
+    ~enc_key:adv_key_string_of_key ~enc_res:adv_result_encode
+    ~dec_res:adv_result_decode cells
+
+let get_adv t c =
+  get_memo t t.adv_memo adv_key_of compute_adv ~section:adv_section
+    ~enc_key:adv_key_string_of_key ~enc_res:adv_result_encode
+    ~dec_res:adv_result_decode c
 
 let map t f xs = Pool.map_list t.pool f xs
 
@@ -233,6 +482,34 @@ let default () =
 let set_jobs j =
   match !default_engine with
   | Some e when jobs e = j && j > 0 -> ()
-  | prev ->
-      (match prev with Some e -> shutdown e | None -> ());
-      default_engine := Some (create ~jobs:j ())
+  | None -> default_engine := Some (create ~jobs:j ())
+  | Some e ->
+      (* Replace only the pool: the memo tables, counters and store
+         handle carry over, so a [-j] change mid-process does not
+         forfeit computed cells. *)
+      Pool.shutdown e.pool;
+      default_engine := Some { e with pool = Pool.create ~jobs:j; guard = Mutex.create () }
+
+let set_cache_dir dir =
+  let e = default () in
+  match (dir, e.store) with
+  | None, None -> ()
+  | None, Some _ ->
+      safe_flush e;
+      e.store <- None
+  | Some d, Some s when Store.dir s = d -> ()
+  | Some d, _ ->
+      safe_flush e;
+      e.store <- open_store d
+
+let set_progress b = (default ()).progress <- b
+
+let resolve_cache_dir ?cli ~no_cache () =
+  if no_cache then None
+  else
+    match cli with
+    | Some _ -> cli
+    | None -> (
+        match Sys.getenv_opt "RME_CACHE_DIR" with
+        | None | Some "" -> None
+        | Some d -> Some d)

@@ -15,27 +15,58 @@
 
     Every cell derives its own Splitmix scheduling/crash RNG inside
     [Harness.run] from the seeds in its key; no RNG state is shared
-    between cells, which is what makes the decomposition sound. *)
+    between cells, which is what makes the decomposition sound.
+
+    Below the in-memory memo sits an optional {e persistent} store
+    ({!Rme_store.Store}): with a cache directory attached, lookups go
+    memory → disk → compute, and every computed result is written
+    back (atomic shard renames; two engines may share a directory).
+    Disk entries are versioned by {!code_fingerprint}, so a store
+    can never serve numbers computed by different code. *)
 
 type t
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?cache_dir:string -> ?progress:bool -> unit -> t
 (** [create ~jobs ()] makes an engine over a fresh pool ([jobs]
     defaults to 1 — sequential; [0] means auto-detect) and an empty
-    memo cache. *)
+    memo cache. [cache_dir] attaches a persistent result store under
+    the memo (created on demand; unusable directories degrade to
+    uncached operation with a warning, never an error). [progress]
+    enables a live cells-done/ETA line on stderr during {!prefetch}. *)
 
 val jobs : t -> int
 val shutdown : t -> unit
+(** Flush the store (if any) and join the pool's domains. *)
+
+val cache_dir : t -> string option
+(** The attached store's directory, if a store is attached. *)
+
+val store_stats : t -> Rme_store.Store.stats option
 
 val default : unit -> t
 (** The process-wide engine the experiment functions use when no
-    [?engine] is passed; starts sequential ([jobs = 1]). *)
+    [?engine] is passed; starts sequential ([jobs = 1]), uncached. *)
 
 val set_jobs : int -> unit
-(** Replace the default engine by one of the given parallelism (no-op
-    if it already has it). The memo cache of the old default engine is
-    dropped. This is what the [-j N] flags of [bench/main.exe] and
-    [rme experiment] call. *)
+(** Replace the default engine's pool by one of the given parallelism
+    (no-op if it already has it). The memo tables, counters and store
+    handle carry over, so a [-j] change mid-process does not forfeit
+    computed cells. This is what the [-j N] flags of [bench/main.exe]
+    and [rme experiment] call. *)
+
+val set_cache_dir : string option -> unit
+(** Attach ([Some dir]) or detach ([None]) the default engine's
+    persistent store. Detaching (and re-attaching elsewhere) flushes
+    pending entries first. *)
+
+val set_progress : bool -> unit
+(** Toggle the default engine's prefetch progress readout. *)
+
+val resolve_cache_dir : ?cli:string -> no_cache:bool -> unit -> string option
+(** The cache-directory resolution both front-ends share:
+    [--no-cache] beats everything, an explicit [--cache-dir] beats the
+    [RME_CACHE_DIR] environment variable, and with neither set the
+    cache is off. *)
 
 (** {1 Harness trial cells} *)
 
@@ -77,14 +108,17 @@ type cell_result = {
 
 val prefetch : t -> cell list -> unit
 (** Compute every not-yet-memoised cell of the batch in parallel
-    (duplicate keys within the batch are computed once). Updates the
-    {!counters}: [computed] by the number of runs performed, [cached]
-    by the number of requests served from the memo. *)
+    (duplicate keys within the batch are computed once; keys found in
+    the persistent store are loaded instead of computed). Updates the
+    {!counters}: [computed] by the number of runs performed, [disk] by
+    the number of keys served from the store, [cached] by the number
+    of requests served from the in-memory memo. *)
 
 val get : t -> cell -> cell_result
-(** Memo lookup; computes inline (sequentially) on a miss. Does not
-    touch the [cached] counter — experiments [prefetch] their whole
-    batch first and use [get] only to format tables. *)
+(** Memo lookup (memory, then store); computes inline (sequentially)
+    on a miss. Does not touch the [cached] counter — experiments
+    [prefetch] their whole batch first and use [get] only to format
+    tables. *)
 
 (** {1 Adversary cells} *)
 
@@ -118,9 +152,35 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** {1 Counters} *)
 
-type counters = { computed : int; cached : int }
+type counters = { computed : int; cached : int; disk : int }
 
 val counters : t -> counters
-(** Cumulative cells computed / served from the memo cache since the
-    engine was created. Deterministic for a given sequence of
-    [prefetch] batches — independent of [jobs]. *)
+(** Cumulative cells computed / served from the in-memory memo /
+    served from the persistent store since the engine was created.
+    Deterministic for a given sequence of [prefetch] batches and a
+    given store state — independent of [jobs]. *)
+
+(** {1 Persistence} *)
+
+val code_fingerprint : unit -> string
+(** The fingerprint versioning every store entry: a digest of an
+    explicit schema version (bumped by convention whenever harness,
+    lock or adversary semantics change) and the lock registry's
+    behavioural signature (names, recoverability, width requirements).
+    A store written under a different fingerprint is skipped — results
+    are recomputed rather than silently served stale. *)
+
+val cell_key_string : cell -> string
+(** The canonical serialised key of a trial cell — the identity a
+    store entry (or a future remote shard request) is filed under. *)
+
+val cell_result_encode : cell_result -> string
+val cell_result_decode : string -> cell_result option
+(** Exact round-trip: [cell_result_decode (cell_result_encode r) = Some r]
+    (floats are encoded in hex notation). Malformed input is [None]. *)
+
+val adv_key_string : adv_cell -> string
+(** Keyed on the {e effective} contention threshold, like the memo. *)
+
+val adv_result_encode : adv_result -> string
+val adv_result_decode : string -> adv_result option

@@ -1,0 +1,148 @@
+module Rmr = Rme_memory.Rmr
+module H = Rme_sim.Harness
+
+(* ---------------- scalars ---------------- *)
+
+let float_enc f = Printf.sprintf "%h" f
+let float_dec s = float_of_string_opt s
+let int_dec s = int_of_string_opt s
+let bool_dec s = bool_of_string_opt s
+
+(* ---------------- escaping ---------------- *)
+
+let must_escape c = c = ' ' || c = '=' || c = '%' || c = '\n' || c = '\r'
+
+let escape s =
+  if String.exists must_escape s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if must_escape c then Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+        else Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+  else s
+
+let unescape s =
+  if not (String.contains s '%') then Some s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i >= n then Some (Buffer.contents buf)
+      else if s.[i] = '%' then
+        if i + 2 < n then
+          match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+          | Some code ->
+              Buffer.add_char buf (Char.chr code);
+              go (i + 3)
+          | None -> None
+        else None
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+    in
+    go 0
+  end
+
+(* ---------------- domain encodings ---------------- *)
+
+let model_enc = function Rmr.Cc -> "cc" | Rmr.Dsm -> "dsm"
+
+let model_dec = function
+  | "cc" -> Some Rmr.Cc
+  | "dsm" -> Some Rmr.Dsm
+  | _ -> None
+
+(* [prefix[body]] helpers for the bracketed crash-policy spellings. *)
+let bracketed ~prefix s =
+  let pl = String.length prefix and n = String.length s in
+  if n >= pl + 2 && String.sub s 0 pl = prefix && s.[pl] = '[' && s.[n - 1] = ']' then
+    Some (String.sub s (pl + 1) (n - pl - 2))
+  else None
+
+let split_on c s = if s = "" then [] else String.split_on_char c s
+
+let crash_policy_enc = function
+  | H.No_crashes -> "none"
+  | H.Crash_prob { prob; seed } ->
+      Printf.sprintf "prob[%s;%d]" (float_enc prob) seed
+  | H.Crash_script l ->
+      Printf.sprintf "script[%s]"
+        (String.concat "," (List.map (fun (s, p) -> Printf.sprintf "%d:%d" s p) l))
+  | H.System_crash_script l ->
+      Printf.sprintf "sys[%s]" (String.concat "," (List.map string_of_int l))
+  | H.System_crash_prob { prob; seed; max } ->
+      Printf.sprintf "sysprob[%s;%d;%d]" (float_enc prob) seed max
+
+let crash_policy_dec s =
+  let ( let* ) = Option.bind in
+  let opt_all f l =
+    List.fold_right
+      (fun x acc ->
+        let* acc = acc in
+        let* y = f x in
+        Some (y :: acc))
+      l (Some [])
+  in
+  if s = "none" then Some H.No_crashes
+  else
+    match bracketed ~prefix:"prob" s with
+    | Some body -> (
+        match split_on ';' body with
+        | [ p; seed ] ->
+            let* prob = float_dec p in
+            let* seed = int_dec seed in
+            Some (H.Crash_prob { prob; seed })
+        | _ -> None)
+    | None -> (
+        match bracketed ~prefix:"script" s with
+        | Some body ->
+            let* l =
+              opt_all
+                (fun tok ->
+                  match split_on ':' tok with
+                  | [ a; b ] ->
+                      let* a = int_dec a in
+                      let* b = int_dec b in
+                      Some (a, b)
+                  | _ -> None)
+                (split_on ',' body)
+            in
+            Some (H.Crash_script l)
+        | None -> (
+            match bracketed ~prefix:"sysprob" s with
+            | Some body -> (
+                match split_on ';' body with
+                | [ p; seed; max ] ->
+                    let* prob = float_dec p in
+                    let* seed = int_dec seed in
+                    let* max = int_dec max in
+                    Some (H.System_crash_prob { prob; seed; max })
+                | _ -> None)
+            | None -> (
+                match bracketed ~prefix:"sys" s with
+                | Some body ->
+                    let* l = opt_all int_dec (split_on ',' body) in
+                    Some (H.System_crash_script l)
+                | None -> None)))
+
+(* ---------------- field lists ---------------- *)
+
+let fields kvs = String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+
+let parse_fields s =
+  let ( let* ) = Option.bind in
+  let toks = split_on ' ' s in
+  List.fold_right
+    (fun tok acc ->
+      let* acc = acc in
+      let* i = String.index_opt tok '=' in
+      if i = 0 then None
+      else
+        Some ((String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1)) :: acc))
+    toks (Some [])
+
+let lookup kvs k = List.assoc_opt k kvs

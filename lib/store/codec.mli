@@ -1,0 +1,60 @@
+(** Canonical, human-debuggable serialisation primitives for the
+    persistent result store.
+
+    Entries on disk are single text lines built from space-separated
+    [key=value] fields, so a store can be inspected with [cat] and
+    survives compiler upgrades (no [Marshal] anywhere — the encodings
+    below are stable strings by construction). Two properties matter:
+
+    - {e canonical}: equal OCaml values encode to equal strings, so a
+      key encoded by one process matches the same key encoded by
+      another (the store looks entries up by encoded key);
+    - {e exact}: decoding an encoding returns the original value
+      bit-for-bit — floats use hexadecimal notation ([%h]), which
+      round-trips exactly, keeping cached tables byte-identical to
+      recomputed ones.
+
+    Every decoder is total: malformed input yields [None], which the
+    store layer treats as corruption (recompute, never crash). *)
+
+(** {1 Scalar encodings} *)
+
+val float_enc : float -> string
+(** Hexadecimal float notation — exact round-trip, still greppable. *)
+
+val float_dec : string -> float option
+
+val int_dec : string -> int option
+val bool_dec : string -> bool option
+
+(** {1 String escaping}
+
+    Free-form strings (lock names) are percent-escaped so they can
+    never contain the structural characters (space, [=], [%],
+    newline) of the field syntax. *)
+
+val escape : string -> string
+val unescape : string -> string option
+
+(** {1 Domain encodings} *)
+
+val model_enc : Rme_memory.Rmr.model -> string
+val model_dec : string -> Rme_memory.Rmr.model option
+
+val crash_policy_enc : Rme_sim.Harness.crash_policy -> string
+(** Every variant gets a distinct, space-free spelling:
+    [none], [prob[p;seed]], [script[s:p,...]], [sys[s,...]],
+    [sysprob[p;seed;max]]. *)
+
+val crash_policy_dec : string -> Rme_sim.Harness.crash_policy option
+
+(** {1 Field lists} *)
+
+val fields : (string * string) list -> string
+(** [fields [(k1,v1); ...]] is ["k1=v1 k2=v2 ..."]. Keys and values
+    must be space-free (escape free-form strings first). *)
+
+val parse_fields : string -> (string * string) list option
+(** Inverse of {!fields}; [None] on any token without [=]. *)
+
+val lookup : (string * string) list -> string -> string option

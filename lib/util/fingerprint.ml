@@ -1,0 +1,11 @@
+let of_strings parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (string_of_int (String.length s));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf s)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let short s = if String.length s <= 12 then s else String.sub s 0 12

@@ -1,0 +1,18 @@
+(** Stable content fingerprints for cache invalidation.
+
+    The persistent result store ({!Rme_store.Store}) versions every
+    shard it writes by a fingerprint of the code's semantics-bearing
+    identity; on open, shards whose fingerprint differs from the
+    running binary's are skipped rather than silently served. This
+    module is the hashing primitive: a digest over an ordered list of
+    strings, unambiguous under concatenation (each part is
+    length-prefixed before hashing). *)
+
+val of_strings : string list -> string
+(** [of_strings parts] is a hex digest of the parts in order. Two
+    lists differ in the digest whenever they differ as lists — parts
+    cannot bleed into each other. *)
+
+val short : string -> string
+(** The first 12 hex characters — enough to tell stores apart in file
+    names and log lines. Identity on shorter strings. *)

@@ -70,9 +70,20 @@ let sequential n f =
     out
   end
 
-let map_array t n f =
+(* Auto chunk size: aim for a handful of chunks per worker so tiny
+   tasks amortise the atomic fetch, while keeping enough chunks in
+   flight that uneven work still balances. Coarse tasks come in small
+   batches (n close to jobs), which auto-resolves to chunk 1. *)
+let auto_chunk ~jobs n = max 1 (min 64 (n / (jobs * 4)))
+
+let map_array ?chunk t n f =
   if n <= 1 || t.jobs = 1 then sequential n f
   else begin
+    let chunk =
+      match chunk with
+      | Some c when c > 0 -> c
+      | Some _ | None -> auto_chunk ~jobs:t.jobs n
+    in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let pending = Atomic.make n in
@@ -80,14 +91,17 @@ let map_array t n f =
     let fin_lock = Mutex.create () in
     let fin = Condition.create () in
     let rec drain () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (match f i with
-        | v -> results.(i) <- Some v
-        | exception e ->
-            let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set failure None (Some (e, bt))));
-        if Atomic.fetch_and_add pending (-1) = 1 then begin
+      let base = Atomic.fetch_and_add next chunk in
+      if base < n then begin
+        let hi = min n (base + chunk) in
+        for i = base to hi - 1 do
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+        done;
+        if Atomic.fetch_and_add pending (base - hi) = hi - base then begin
           Mutex.lock fin_lock;
           Condition.broadcast fin;
           Mutex.unlock fin_lock
@@ -115,6 +129,6 @@ let map_array t n f =
     Array.map (function Some v -> v | None -> assert false) results
   end
 
-let map_list t f xs =
+let map_list ?chunk t f xs =
   let arr = Array.of_list xs in
-  Array.to_list (map_array t (Array.length arr) (fun i -> f arr.(i)))
+  Array.to_list (map_array ?chunk t (Array.length arr) (fun i -> f arr.(i)))

@@ -22,5 +22,6 @@ let () =
       Test_schedule.suite;
       Test_experiments.suite;
       Test_parallel.suite;
+      Test_store.suite;
       Test_cli.suite;
     ]

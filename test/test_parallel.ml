@@ -63,6 +63,36 @@ let test_pool_shutdown_idempotent () =
   Pool.shutdown p;
   Pool.shutdown p
 
+let test_pool_chunked () =
+  (* Explicit chunk sizes — including ones that don't divide n, exceed
+     n, or claim everything at once — must not change the output. *)
+  let expect = List.init 100 (fun i -> i * i) in
+  List.iter
+    (fun chunk ->
+      with_pool ~jobs:4 (fun p ->
+          let out = Pool.map_array ~chunk p 100 (fun i -> i * i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "chunk %d keeps order" chunk)
+            true
+            (Array.to_list out = expect)))
+    [ 1; 3; 7; 64; 100; 1000 ];
+  (* Auto chunking (the n <= 8 tiny-cell batch shape: many microsecond
+     tasks) also preserves order. *)
+  with_pool ~jobs:4 (fun p ->
+      let out = Pool.map_array p 1000 (fun i -> i + 1) in
+      Alcotest.(check bool) "auto chunk keeps order" true
+        (Array.to_list out = List.init 1000 (fun i -> i + 1)))
+
+let test_pool_chunked_exception () =
+  with_pool ~jobs:4 (fun p ->
+      (match
+         Pool.map_array ~chunk:8 p 100 (fun i -> if i = 57 then raise (Boom i) else i)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 57 -> ());
+      Alcotest.(check bool) "usable after chunked failure" true
+        (Pool.map_array ~chunk:3 p 8 (fun i -> i + 1) = [| 1; 2; 3; 4; 5; 6; 7; 8 |]))
+
 (* ---------------- the memo cache and counters ---------------- *)
 
 let mk_cell seed =
@@ -154,6 +184,29 @@ let test_e6_shares_e1_cells () =
       Alcotest.(check bool) "e6 hits the cache" true
         (c1.Engine.cached > c0.Engine.cached))
 
+(* ---------------- -j changes keep the memo ---------------- *)
+
+let test_set_jobs_keeps_memo () =
+  (* Regression: [set_jobs] used to rebuild the default engine from
+     scratch, forfeiting every computed cell. The memo (and counters)
+     must survive a mid-process -j change. *)
+  Engine.set_jobs 1;
+  let e1 = Engine.default () in
+  Engine.prefetch e1 [ mk_cell 101; mk_cell 102 ];
+  let c1 = Engine.counters e1 in
+  Engine.set_jobs 2;
+  let e2 = Engine.default () in
+  Alcotest.(check int) "jobs changed" 2 (Engine.jobs e2);
+  Alcotest.(check bool) "counters carried over" true
+    ((Engine.counters e2).Engine.computed = c1.Engine.computed);
+  Engine.prefetch e2 [ mk_cell 101; mk_cell 102 ];
+  let c2 = Engine.counters e2 in
+  Alcotest.(check int) "memo carried over: nothing recomputed" c1.Engine.computed
+    c2.Engine.computed;
+  Alcotest.(check int) "served from the carried memo" (c1.Engine.cached + 2)
+    c2.Engine.cached;
+  Engine.set_jobs 1
+
 let suite =
   ( "parallel",
     [
@@ -164,6 +217,11 @@ let suite =
       Alcotest.test_case "pool: task exception propagates" `Quick test_pool_exception;
       Alcotest.test_case "pool: shutdown is idempotent" `Quick
         test_pool_shutdown_idempotent;
+      Alcotest.test_case "pool: chunked scheduling keeps order" `Quick test_pool_chunked;
+      Alcotest.test_case "pool: chunked exception propagates" `Quick
+        test_pool_chunked_exception;
+      Alcotest.test_case "engine: set_jobs keeps the memo cache" `Quick
+        test_set_jobs_keeps_memo;
       Alcotest.test_case "engine: memo counters" `Quick test_memo_counters;
       Alcotest.test_case "engine: memo result = direct harness run" `Quick
         test_memo_equals_direct;

@@ -1,0 +1,452 @@
+(* Tests for the persistent result store: codec round-trips for every
+   cell/result variant, store robustness (fingerprint invalidation,
+   truncation, garbage — recompute and quarantine, never crash, never
+   stale), concurrent shared-directory writers, and the headline
+   guarantee — a warm store reproduces tables byte-identically with
+   zero cells computed, at any -j. *)
+
+module Store = Rme_store.Store
+module Codec = Rme_store.Codec
+module Engine = Rme_experiments.Engine
+module E = Rme_experiments.Experiments
+module Table = Rme_util.Table
+module H = Rme_sim.Harness
+module Rmr = Rme_memory.Rmr
+
+(* ---------------- scratch directories ---------------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let dir_counter = ref 0
+
+let with_dir f =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rme_store_test_%d_%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf d;
+  Sys.mkdir d 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let shards dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".rme")
+  |> List.map (Filename.concat dir)
+
+let quarantine_count dir =
+  let q = Filename.concat dir "quarantine" in
+  if Sys.file_exists q then Array.length (Sys.readdir q) else 0
+
+(* ---------------- codec round-trips ---------------- *)
+
+let crash_policies : H.crash_policy list =
+  [
+    H.No_crashes;
+    H.Crash_prob { prob = 0.05; seed = 1302 };
+    H.Crash_prob { prob = 1.0 /. 3.0; seed = -7 };
+    H.Crash_script [];
+    H.Crash_script [ (3, 1); (700, 2) ];
+    H.System_crash_script [];
+    H.System_crash_script [ 10; 20; 30 ];
+    H.System_crash_prob { prob = 0.125; seed = 9; max = 4 };
+  ]
+
+let test_crash_policy_round_trip () =
+  List.iter
+    (fun cp ->
+      let enc = Codec.crash_policy_enc cp in
+      Alcotest.(check bool)
+        (Printf.sprintf "decode %s" enc)
+        true
+        (Codec.crash_policy_dec enc = Some cp))
+    crash_policies;
+  (* Distinct policies must have distinct encodings. *)
+  let encs = List.map Codec.crash_policy_enc crash_policies in
+  Alcotest.(check int) "encodings distinct"
+    (List.length encs)
+    (List.length (List.sort_uniq compare encs));
+  (* Malformed inputs decode to None, never raise. *)
+  List.iter
+    (fun bad -> Alcotest.(check bool) bad true (Codec.crash_policy_dec bad = None))
+    [ ""; "nonsense"; "prob[]"; "prob[0.5]"; "script[1:2,x]"; "sys[a]"; "sysprob[1;2]" ]
+
+let test_float_round_trip () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "float %h" f)
+        true
+        (Codec.float_dec (Codec.float_enc f) = Some f))
+    [ 0.0; 1.0; -1.5; 1.0 /. 3.0; 1e-300; 6.02e23; Float.max_float ]
+
+let test_escape_round_trip () =
+  List.iter
+    (fun s ->
+      let e = Codec.escape s in
+      Alcotest.(check bool) ("no structural chars in " ^ e) false
+        (String.exists (fun c -> c = ' ' || c = '=' || c = '\n') e);
+      Alcotest.(check bool) ("unescape " ^ e) true (Codec.unescape e = Some s))
+    [ "plain"; "katzan-morrison-b4"; "with space"; "a=b"; "100%"; "nl\nnl" ]
+
+let mk_cell ?superpassages ?crashes ?allow_cs_crash ?max_crashes ?(seed = 42)
+    ?(n = 4) ?(width = 16) ?(model = Rmr.Cc) ?(lock = Rme_locks.Tas.factory) () =
+  Engine.cell ?superpassages ?crashes ?allow_cs_crash ?max_crashes ~seed ~n ~width
+    ~model lock
+
+let test_cell_key_strings () =
+  (* Every key field must show up in the encoding: cells differing in
+     any one field get distinct canonical keys. *)
+  let variants =
+    mk_cell ()
+    :: mk_cell ~lock:Rme_locks.Mcs.factory ()
+    :: mk_cell ~n:8 ()
+    :: mk_cell ~width:8 ()
+    :: mk_cell ~model:Rmr.Dsm ()
+    :: mk_cell ~seed:7 ()
+    :: mk_cell ~superpassages:3 ()
+    :: mk_cell ~allow_cs_crash:true ()
+    :: mk_cell ~max_crashes:5 ()
+       (* [No_crashes] (head of the list) IS the default cell — same
+          key by design — so only the non-default policies add
+          variants here. *)
+    :: List.map (fun cp -> mk_cell ~crashes:cp ()) (List.tl crash_policies)
+  in
+  let keys = List.map Engine.cell_key_string variants in
+  Alcotest.(check int) "all cell keys distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) ("single line: " ^ k) false (String.contains k '\n'))
+    keys;
+  (* Canonical: the same cell encodes identically every time. *)
+  Alcotest.(check string) "stable" (Engine.cell_key_string (mk_cell ()))
+    (Engine.cell_key_string (mk_cell ()))
+
+let test_cell_result_round_trip () =
+  let r =
+    {
+      Engine.ok = true;
+      max_passage_rmr = 17;
+      mean_passage_rmr = 10.0 /. 3.0;
+      total_crashes = 2;
+      total_rmrs = 12345;
+      cs_entries = 64;
+      max_bypass = 9;
+    }
+  in
+  Alcotest.(check bool) "round-trip" true
+    (Engine.cell_result_decode (Engine.cell_result_encode r) = Some r);
+  let r' = { r with Engine.ok = false; mean_passage_rmr = 0.0 } in
+  Alcotest.(check bool) "round-trip 2" true
+    (Engine.cell_result_decode (Engine.cell_result_encode r') = Some r');
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) ("reject " ^ bad) true
+        (Engine.cell_result_decode bad = None))
+    [ ""; "ok=true"; "ok=yes max=1 mean=0x0p+0 crashes=0 rmrs=0 cs=0 bypass=0"; "garbage" ]
+
+let test_adv_round_trip () =
+  let c =
+    Engine.adv_cell ~k:5 ~n:32 ~width:8 ~model:Rmr.Cc Rme_locks.Rcas.factory
+  in
+  let c_default =
+    Engine.adv_cell ~n:32 ~width:8 ~model:Rmr.Cc Rme_locks.Rcas.factory
+  in
+  (* Like the memo, keys use the *effective* threshold: an explicit k
+     equal to the default shares the entry. *)
+  let c_explicit_default =
+    Engine.adv_cell ~k:9 ~n:32 ~width:8 ~model:Rmr.Cc Rme_locks.Rcas.factory
+  in
+  Alcotest.(check string) "effective threshold shared"
+    (Engine.adv_key_string c_default)
+    (Engine.adv_key_string c_explicit_default);
+  Alcotest.(check bool) "explicit non-default distinct" true
+    (Engine.adv_key_string c <> Engine.adv_key_string c_default);
+  let r = { Engine.rounds = 4; bound = 3.75; survivors = 12 } in
+  Alcotest.(check bool) "adv result round-trip" true
+    (Engine.adv_result_decode (Engine.adv_result_encode r) = Some r)
+
+(* ---------------- the store itself ---------------- *)
+
+let fp = "0123456789abcdef0123456789abcdef"
+
+let test_store_basic () =
+  with_dir (fun d ->
+      let s = Store.open_ ~dir:d ~fingerprint:fp in
+      Alcotest.(check bool) "empty at open" true (Store.find s ~section:"cell" "k1" = None);
+      Store.add s ~section:"cell" ~key:"k1" ~value:"v1";
+      Store.add s ~section:"adv" ~key:"k1" ~value:"v2";
+      Alcotest.(check bool) "sections separate" true
+        (Store.find s ~section:"cell" "k1" = Some "v1"
+        && Store.find s ~section:"adv" "k1" = Some "v2");
+      Store.flush s;
+      Store.flush s;
+      Alcotest.(check int) "one shard, flush idempotent" 1 (List.length (shards d));
+      let s2 = Store.open_ ~dir:d ~fingerprint:fp in
+      Alcotest.(check bool) "persisted" true
+        (Store.find s2 ~section:"cell" "k1" = Some "v1"
+        && Store.find s2 ~section:"adv" "k1" = Some "v2");
+      let st = Store.stats s2 in
+      Alcotest.(check int) "entries" 2 st.Store.entries;
+      Alcotest.(check int) "shards loaded" 1 st.Store.shards_loaded;
+      Alcotest.(check int) "disk hits counted" 2 st.Store.disk_hits)
+
+let test_store_fingerprint_mismatch () =
+  with_dir (fun d ->
+      let s = Store.open_ ~dir:d ~fingerprint:fp in
+      Store.add s ~section:"cell" ~key:"k" ~value:"v";
+      Store.flush s;
+      (* A different code fingerprint must see none of it... *)
+      let s2 = Store.open_ ~dir:d ~fingerprint:"ffffffffffffffffffffffffffffffff" in
+      Alcotest.(check bool) "stale entry invisible" true
+        (Store.find s2 ~section:"cell" "k" = None);
+      Alcotest.(check int) "counted stale" 1 (Store.stats s2).Store.stale_shards;
+      Alcotest.(check int) "not quarantined" 0 (quarantine_count d);
+      (* ... while the original fingerprint still can (no destruction). *)
+      let s3 = Store.open_ ~dir:d ~fingerprint:fp in
+      Alcotest.(check bool) "original still served" true
+        (Store.find s3 ~section:"cell" "k" = Some "v"))
+
+let test_store_truncation () =
+  with_dir (fun d ->
+      let s = Store.open_ ~dir:d ~fingerprint:fp in
+      for i = 1 to 5 do
+        Store.add s ~section:"cell" ~key:(Printf.sprintf "k%d" i) ~value:"v"
+      done;
+      Store.flush s;
+      let shard = List.hd (shards d) in
+      (* Chop the file mid-way through the last line. *)
+      let len = (Unix.stat shard).Unix.st_size in
+      let fd = Unix.openfile shard [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (len - 3);
+      Unix.close fd;
+      let s2 = Store.open_ ~dir:d ~fingerprint:fp in
+      let st = Store.stats s2 in
+      Alcotest.(check int) "file quarantined" 1 st.Store.quarantined;
+      Alcotest.(check int) "quarantine dir holds it" 1 (quarantine_count d);
+      Alcotest.(check bool) "shard removed from store dir" true (shards d = []);
+      Alcotest.(check int) "valid prefix salvaged" 4 st.Store.entries;
+      Alcotest.(check bool) "torn tail entry recomputes" true
+        (Store.find s2 ~section:"cell" "k5" = None);
+      (* The salvaged prefix is re-persisted by the new handle. *)
+      Store.flush s2;
+      let s3 = Store.open_ ~dir:d ~fingerprint:fp in
+      Alcotest.(check bool) "salvage survives the quarantine" true
+        (Store.find s3 ~section:"cell" "k1" = Some "v"))
+
+let test_store_garbage () =
+  with_dir (fun d ->
+      let s = Store.open_ ~dir:d ~fingerprint:fp in
+      Store.add s ~section:"cell" ~key:"good" ~value:"v";
+      Store.flush s;
+      (* Drop a file of binary junk beside the healthy shard. *)
+      let junk = Filename.concat d "shard-junk.rme" in
+      let oc = open_out_bin junk in
+      output_string oc "\x00\x01\x02 not a store file at all\xff";
+      close_out oc;
+      let s2 = Store.open_ ~dir:d ~fingerprint:fp in
+      let st = Store.stats s2 in
+      Alcotest.(check int) "junk quarantined" 1 st.Store.quarantined;
+      Alcotest.(check bool) "healthy shard unaffected" true
+        (Store.find s2 ~section:"cell" "good" = Some "v"))
+
+let test_store_shared_directory () =
+  (* Two handles over one directory — the -j4 bench + CI sharing shape.
+     Writers own distinct shard files, so neither can lose or tear the
+     other's entries, without any cross-process locking. *)
+  with_dir (fun d ->
+      let s1 = Store.open_ ~dir:d ~fingerprint:fp in
+      let s2 = Store.open_ ~dir:d ~fingerprint:fp in
+      for i = 0 to 99 do
+        Store.add s1 ~section:"cell" ~key:(Printf.sprintf "a%d" i) ~value:(string_of_int i)
+      done;
+      for i = 0 to 99 do
+        Store.add s2 ~section:"cell" ~key:(Printf.sprintf "b%d" i) ~value:(string_of_int i)
+      done;
+      (* An overlapping key gets the same (deterministic) value from both. *)
+      Store.add s1 ~section:"cell" ~key:"dup" ~value:"same";
+      Store.add s2 ~section:"cell" ~key:"dup" ~value:"same";
+      (* Interleaved flushes, as concurrent batch commits would do. *)
+      Store.flush s1;
+      Store.flush s2;
+      Store.add s1 ~section:"cell" ~key:"late" ~value:"l";
+      Store.flush s1;
+      Alcotest.(check int) "one shard per writer" 2 (List.length (shards d));
+      let s3 = Store.open_ ~dir:d ~fingerprint:fp in
+      let st = Store.stats s3 in
+      Alcotest.(check int) "no lost entries" 202 st.Store.entries;
+      Alcotest.(check int) "no torn files" 0 st.Store.quarantined;
+      for i = 0 to 99 do
+        Alcotest.(check bool) "a entries" true
+          (Store.find s3 ~section:"cell" (Printf.sprintf "a%d" i) = Some (string_of_int i));
+        Alcotest.(check bool) "b entries" true
+          (Store.find s3 ~section:"cell" (Printf.sprintf "b%d" i) = Some (string_of_int i))
+      done;
+      Alcotest.(check bool) "dup consistent" true
+        (Store.find s3 ~section:"cell" "dup" = Some "same"))
+
+(* ---------------- the engine over the store ---------------- *)
+
+let with_engine ~jobs ?cache_dir f =
+  let e = Engine.create ~jobs ?cache_dir () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown e) (fun () -> f e)
+
+let render_all tables = String.concat "\n" (List.map Table.render tables)
+
+(* A reduced suite covering both cell kinds: E1/E2 are harness trial
+   cells, E3 is adversary cells. *)
+let render_suite engine =
+  render_all
+    (E.e1_lock_landscape ~engine ~ns:[ 2; 4 ] ()
+    @ E.e2_word_size_tradeoff ~engine ~ns:[ 8 ] ~ws:[ 2; 8 ] ()
+    @ E.e3_adversary_bound ~engine ~ns:[ 16 ] ~ws:[ 4 ] ())
+
+let test_warm_store_determinism () =
+  with_dir (fun d ->
+      let cold = with_engine ~jobs:1 ~cache_dir:d render_suite in
+      let cold_counters =
+        with_engine ~jobs:1 (fun e ->
+            ignore (render_suite e);
+            Engine.counters e)
+      in
+      Alcotest.(check bool) "cold run computes" true (cold_counters.Engine.computed > 0);
+      (* Warm rerun, sequential: byte-identical tables, zero computed. *)
+      with_engine ~jobs:1 ~cache_dir:d (fun e ->
+          let warm = render_suite e in
+          Alcotest.(check string) "warm -j1 tables byte-identical" cold warm;
+          let c = Engine.counters e in
+          Alcotest.(check int) "warm -j1 computed = 0" 0 c.Engine.computed;
+          Alcotest.(check bool) "served from disk" true (c.Engine.disk > 0));
+      (* Warm rerun, parallel: same again. *)
+      with_engine ~jobs:4 ~cache_dir:d (fun e ->
+          let warm = render_suite e in
+          Alcotest.(check string) "warm -j4 tables byte-identical" cold warm;
+          Alcotest.(check int) "warm -j4 computed = 0" 0 (Engine.counters e).Engine.computed))
+
+let test_engine_corrupt_store_recomputes () =
+  with_dir (fun d ->
+      let cold = with_engine ~jobs:1 ~cache_dir:d render_suite in
+      (* Smash every shard with garbage. *)
+      List.iter
+        (fun shard ->
+          let oc = open_out_bin shard in
+          output_string oc "\x00\x01 garbage, not a shard";
+          close_out oc)
+        (shards d);
+      with_engine ~jobs:2 ~cache_dir:d (fun e ->
+          let again = render_suite e in
+          Alcotest.(check string) "corrupt store: tables still identical" cold again;
+          let c = Engine.counters e in
+          Alcotest.(check bool) "corrupt store: recomputed" true (c.Engine.computed > 0);
+          Alcotest.(check int) "corrupt store: nothing from disk" 0 c.Engine.disk);
+      Alcotest.(check bool) "corrupt shards quarantined" true (quarantine_count d > 0))
+
+let test_engine_fingerprint_gates_disk () =
+  with_dir (fun d ->
+      (* Forge a store written by "different code": same directory,
+         different fingerprint. The engine must recompute everything. *)
+      let forged = Store.open_ ~dir:d ~fingerprint:"deadbeefdeadbeefdeadbeefdeadbeef" in
+      let cell = mk_cell () in
+      Store.add forged ~section:"cell"
+        ~key:(Engine.cell_key_string cell)
+        ~value:
+          (Engine.cell_result_encode
+             {
+               Engine.ok = true;
+               max_passage_rmr = 99999;
+               mean_passage_rmr = 99999.0;
+               total_crashes = 0;
+               total_rmrs = 0;
+               cs_entries = 0;
+               max_bypass = 0;
+             });
+      Store.flush forged;
+      with_engine ~jobs:1 ~cache_dir:d (fun e ->
+          Engine.prefetch e [ cell ];
+          let c = Engine.counters e in
+          Alcotest.(check int) "stale store: recomputed" 1 c.Engine.computed;
+          Alcotest.(check int) "stale store: no disk hits" 0 c.Engine.disk;
+          let r = Engine.get e cell in
+          Alcotest.(check bool) "stale numbers never served" true
+            (r.Engine.max_passage_rmr <> 99999)))
+
+let test_engine_get_persists () =
+  with_dir (fun d ->
+      let cell = mk_cell ~seed:1302 () in
+      let r1 =
+        with_engine ~jobs:1 ~cache_dir:d (fun e -> Engine.get e cell)
+      in
+      with_engine ~jobs:1 ~cache_dir:d (fun e ->
+          let r2 = Engine.get e cell in
+          Alcotest.(check bool) "get round-trips through disk" true (r1 = r2);
+          let c = Engine.counters e in
+          Alcotest.(check int) "get miss→disk hit" 0 c.Engine.computed;
+          Alcotest.(check int) "one disk hit" 1 c.Engine.disk))
+
+let test_engine_unusable_dir_degrades () =
+  (* A cache path that cannot be a directory must warn and run
+     uncached — never crash, never wrong. *)
+  with_dir (fun d ->
+      let file = Filename.concat d "not-a-dir" in
+      let oc = open_out file in
+      output_string oc "occupied";
+      close_out oc;
+      with_engine ~jobs:1 ~cache_dir:(Filename.concat file "sub") (fun e ->
+          Alcotest.(check bool) "no store attached" true (Engine.cache_dir e = None);
+          Engine.prefetch e [ mk_cell () ];
+          Alcotest.(check int) "still computes" 1 (Engine.counters e).Engine.computed))
+
+let test_resolve_cache_dir () =
+  (* --no-cache beats everything; the flag beats the environment. *)
+  Unix.putenv "RME_CACHE_DIR" "/tmp/from-env";
+  Alcotest.(check bool) "env respected" true
+    (Engine.resolve_cache_dir ~no_cache:false () = Some "/tmp/from-env");
+  Alcotest.(check bool) "flag wins" true
+    (Engine.resolve_cache_dir ~cli:"/tmp/flag" ~no_cache:false () = Some "/tmp/flag");
+  Alcotest.(check bool) "no-cache wins" true
+    (Engine.resolve_cache_dir ~cli:"/tmp/flag" ~no_cache:true () = None);
+  Unix.putenv "RME_CACHE_DIR" "";
+  Alcotest.(check bool) "empty env is off" true
+    (Engine.resolve_cache_dir ~no_cache:false () = None)
+
+let suite =
+  ( "store",
+    [
+      Alcotest.test_case "codec: crash policies round-trip" `Quick
+        test_crash_policy_round_trip;
+      Alcotest.test_case "codec: floats round-trip exactly" `Quick test_float_round_trip;
+      Alcotest.test_case "codec: escaping round-trips" `Quick test_escape_round_trip;
+      Alcotest.test_case "codec: cell keys canonical and distinct" `Quick
+        test_cell_key_strings;
+      Alcotest.test_case "codec: cell results round-trip" `Quick
+        test_cell_result_round_trip;
+      Alcotest.test_case "codec: adversary keys and results" `Quick test_adv_round_trip;
+      Alcotest.test_case "store: add/flush/reopen" `Quick test_store_basic;
+      Alcotest.test_case "store: fingerprint mismatch invalidates" `Quick
+        test_store_fingerprint_mismatch;
+      Alcotest.test_case "store: truncated shard quarantined, prefix salvaged" `Quick
+        test_store_truncation;
+      Alcotest.test_case "store: garbage file quarantined" `Quick test_store_garbage;
+      Alcotest.test_case "store: shared directory loses nothing" `Quick
+        test_store_shared_directory;
+      Alcotest.test_case "engine: warm store — identical tables, 0 computed" `Quick
+        test_warm_store_determinism;
+      Alcotest.test_case "engine: corrupt store recomputes" `Quick
+        test_engine_corrupt_store_recomputes;
+      Alcotest.test_case "engine: fingerprint gates disk entries" `Quick
+        test_engine_fingerprint_gates_disk;
+      Alcotest.test_case "engine: get persists single cells" `Quick
+        test_engine_get_persists;
+      Alcotest.test_case "engine: unusable cache dir degrades gracefully" `Quick
+        test_engine_unusable_dir_degrades;
+      Alcotest.test_case "engine: cache dir resolution order" `Quick
+        test_resolve_cache_dir;
+    ] )
