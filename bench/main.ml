@@ -8,8 +8,15 @@
      dune exec bench/main.exe e3              # one experiment
      dune exec bench/main.exe time            # timing suites only
      dune exec bench/main.exe -- -j 4 e1 e2   # shard trial cells over 4 domains
+     dune exec bench/main.exe -- --workers 2 e2   # shard batches over 2 processes
      dune exec bench/main.exe -- --cache-dir .rme-cache e1   # persist results
      dune exec bench/main.exe -- --progress e2               # live ETA on stderr
+
+   --workers N (or RME_WORKERS) forks N worker subprocesses of this
+   binary (the hidden --worker serve mode) and streams cell batches to
+   them over pipes, behind a code-fingerprint handshake; worker
+   failures of any kind degrade to in-process compute, so tables stay
+   bit-identical to --workers 0.
 
    A cache directory (--cache-dir, or the RME_CACHE_DIR environment
    variable; --no-cache overrides both) persists trial-cell results
@@ -36,9 +43,10 @@ let run_experiment (id, descr, f) =
   let dt = Unix.gettimeofday () -. t0 in
   let c1 = Engine.counters eng in
   Printf.printf
-    "(%s completed in %.1fs; j=%d; cells: %d computed, %d cached, %d disk)\n\n%!" id
-    dt (Engine.jobs eng)
+    "(%s completed in %.1fs; j=%d; cells: %d computed (%d remote), %d cached, %d disk)\n\n%!"
+    id dt (Engine.jobs eng)
     (c1.Engine.computed - c0.Engine.computed)
+    (c1.Engine.remote - c0.Engine.remote)
     (c1.Engine.cached - c0.Engine.cached)
     (c1.Engine.disk - c0.Engine.disk)
 
@@ -123,29 +131,39 @@ let run_timing () =
     (bechamel_tests ());
   Table.print t
 
-(* Accepts [-j N], [--jobs N], [-jN], [--cache-dir DIR], [--no-cache]
-   and [--progress]/[-v]; returns the options and the remaining args. *)
+(* Accepts [-j N], [--jobs N], [-jN], [--workers N], [--worker],
+   [--cache-dir DIR], [--no-cache] and [--progress]/[-v]; returns the
+   options and the remaining args. *)
 type opts = {
   jobs : int;
+  workers : int option;
+  worker : bool;  (* serve mode: this process IS a worker *)
   cache_dir : string option;
   no_cache : bool;
   progress : bool;
 }
 
 let parse_opts args =
-  let jobs_value v =
+  let int_value flag v =
     match int_of_string_opt v with
     | Some j -> j
     | None ->
-        Printf.eprintf "invalid -j value %S\n" v;
+        Printf.eprintf "invalid %s value %S\n" flag v;
         exit 1
   in
+  let jobs_value = int_value "-j" in
   let rec go o acc = function
     | [] -> (o, List.rev acc)
     | ("-j" | "--jobs") :: v :: rest -> go { o with jobs = jobs_value v } acc rest
     | ("-j" | "--jobs") :: [] ->
         prerr_endline "missing value after -j";
         exit 1
+    | "--workers" :: v :: rest ->
+        go { o with workers = Some (int_value "--workers" v) } acc rest
+    | "--workers" :: [] ->
+        prerr_endline "missing value after --workers";
+        exit 1
+    | "--worker" :: rest -> go { o with worker = true } acc rest
     | "--cache-dir" :: d :: rest -> go { o with cache_dir = Some d } acc rest
     | "--cache-dir" :: [] ->
         prerr_endline "missing value after --cache-dir";
@@ -156,15 +174,37 @@ let parse_opts args =
         go { o with jobs = jobs_value (String.sub a 2 (String.length a - 2)) } acc rest
     | a :: rest -> go o (a :: acc) rest
   in
-  go { jobs = 1; cache_dir = None; no_cache = false; progress = false } [] args
+  go
+    {
+      jobs = 1;
+      workers = None;
+      worker = false;
+      cache_dir = None;
+      no_cache = false;
+      progress = false;
+    }
+    [] args
+
+(* The worker command line the coordinator spawns: this binary in
+   --worker serve mode, with the same cache directory. *)
+let worker_argv cache =
+  Array.of_list
+    ((Sys.executable_name :: [ "--worker" ])
+    @ match cache with Some d -> [ "--cache-dir"; d ] | None -> [])
 
 let () =
   let o, args = parse_opts (Array.to_list Sys.argv |> List.tl) in
+  let cache = Engine.resolve_cache_dir ?cli:o.cache_dir ~no_cache:o.no_cache () in
+  if o.worker then begin
+    Engine.serve_worker ?cache_dir:cache stdin stdout;
+    exit 0
+  end;
   Engine.set_jobs o.jobs;
-  Engine.set_cache_dir
-    (Engine.resolve_cache_dir ?cli:o.cache_dir ~no_cache:o.no_cache ());
+  Engine.set_cache_dir cache;
+  Engine.set_workers ~argv:(worker_argv cache)
+    (Engine.resolve_workers ?cli:o.workers ());
   Engine.set_progress o.progress;
-  match args with
+  (match args with
   | [] ->
       List.iter run_experiment E.all;
       run_timing ()
@@ -178,4 +218,6 @@ let () =
               Printf.eprintf "unknown experiment %S (available: %s, time)\n" id
                 (String.concat ", " (List.map (fun (i, _, _) -> i) E.all));
               exit 1)
-        ids
+        ids);
+  (* Stop worker subprocesses politely (EOF + reap) before exit. *)
+  Engine.set_workers 0

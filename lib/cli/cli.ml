@@ -7,8 +7,11 @@
      rme lemma ...                     solve a Process-Hiding instance
      rme experiment e1 .. f1 | all     regenerate the paper's tables
                     [-j N]             ... sharding trial cells over N domains
+                    [--workers N]      ... sharding cell batches over N processes
                     [--cache-dir DIR]  ... reusing results across runs
                     [--no-cache] [--progress|-v]
+     rme worker                        internal: serve cell batches over
+                                       stdin/stdout (spawned by --workers)
 *)
 
 open Cmdliner
@@ -246,12 +249,48 @@ let lemma_cmd =
     (Cmd.info "lemma" ~doc:"Solve and verify a Process-Hiding Lemma instance.")
     Term.(const lemma $ ell $ delta $ m $ family $ seed_arg $ trials)
 
+(* ---------------- rme worker ---------------- *)
+
+(* The hidden counterpart of --workers: the coordinator spawns [rme
+   worker [--cache-dir DIR]] subprocesses and streams cell batches to
+   them over stdin/stdout. Not meant for human invocation (it will sit
+   silently waiting for frames), but harmless if invoked. *)
+
+let worker_cmd =
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Let the worker consult and feed this result store itself.")
+  in
+  let run cache_dir =
+    Rme_experiments.Engine.serve_worker ?cache_dir stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Internal: serve experiment cell batches over stdin/stdout. Spawned \
+          by $(b,--workers); speaks a length-prefixed framing of the result \
+          store's line format, gated by a code-fingerprint handshake.")
+    Term.(const run $ cache_dir)
+
 (* ---------------- rme experiment ---------------- *)
 
-let experiment jobs cache_dir no_cache progress ids =
+(* The worker command line matching this front-end: this very binary's
+   hidden [worker] subcommand, handed the same cache directory so
+   worker-computed results persist on their own. *)
+let worker_argv cache =
+  Array.of_list
+    ((Sys.executable_name :: [ "worker" ])
+    @ match cache with Some d -> [ "--cache-dir"; d ] | None -> [])
+
+let experiment jobs workers cache_dir no_cache progress ids =
   let module E = Rme_experiments.Experiments in
   Engine.set_jobs jobs;
-  Engine.set_cache_dir (Engine.resolve_cache_dir ?cli:cache_dir ~no_cache ());
+  let cache = Engine.resolve_cache_dir ?cli:cache_dir ~no_cache () in
+  Engine.set_cache_dir cache;
+  Engine.set_workers ~argv:(worker_argv cache) (Engine.resolve_workers ?cli:workers ());
   Engine.set_progress progress;
   let eng = Engine.default () in
   let ids = if ids = [ "all" ] then List.map (fun (i, _, _) -> i) E.all else ids in
@@ -264,17 +303,23 @@ let experiment jobs cache_dir no_cache progress ids =
           List.iter Rme_util.Table.print tables;
           let c1 = Engine.counters eng in
           Printf.printf
-            "(%s completed in %.1fs; j=%d; cells: %d computed, %d cached, %d disk)\n\n%!"
+            "(%s completed in %.1fs; j=%d; cells: %d computed (%d remote), %d \
+             cached, %d disk)\n\n\
+             %!"
             id
             (Unix.gettimeofday () -. t0)
             (Engine.jobs eng)
             (c1.Engine.computed - c0.Engine.computed)
+            (c1.Engine.remote - c0.Engine.remote)
             (c1.Engine.cached - c0.Engine.cached)
             (c1.Engine.disk - c0.Engine.disk)
       | None ->
           Printf.eprintf "unknown experiment %S\n" id;
           exit 1)
-    ids
+    ids;
+  (* Politely stop the worker subprocesses (EOF, then reap) rather
+     than letting process exit tear the pipes down under them. *)
+  Engine.set_workers 0
 
 let experiment_cmd =
   let ids =
@@ -289,6 +334,18 @@ let experiment_cmd =
           ~doc:
             "Shard trial cells over $(docv) domains (0 = auto-detect). Tables \
              are bit-identical at any value.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Shard cell batches over $(docv) worker subprocesses (also via \
+             $(b,RME_WORKERS)). A fingerprint handshake gates every worker; \
+             lost, hung or corrupt workers have their batches requeued, \
+             falling back to in-process compute, so tables stay bit-identical \
+             to $(b,--workers) 0 at any value.")
   in
   let cache_dir =
     Arg.(
@@ -315,7 +372,8 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper-shaped experiment tables.")
-    Term.(const experiment $ jobs $ cache_dir $ no_cache $ progress $ ids)
+    Term.(
+      const experiment $ jobs $ workers $ cache_dir $ no_cache $ progress $ ids)
 
 (* ---------------- main ---------------- *)
 
@@ -328,4 +386,11 @@ let eval ?argv () =
   let info = Cmd.info "rme" ~version:"1.0.0" ~doc in
   Cmd.eval ?argv
     (Cmd.group info
-       [ locks_cmd; simulate_cmd; adversary_cmd; lemma_cmd; experiment_cmd ])
+       [
+         locks_cmd;
+         simulate_cmd;
+         adversary_cmd;
+         lemma_cmd;
+         experiment_cmd;
+         worker_cmd;
+       ])

@@ -1,0 +1,372 @@
+module Pool = Rme_util.Pool
+
+type config = {
+  workers : int;
+  argv : string array;
+  fingerprint : string;
+  batch_deadline : float;
+  handshake_deadline : float;
+  max_respawns : int;
+  backoff_base : float;
+  chunk : int option;
+}
+
+let default_config ?(batch_deadline = 300.0) ?(handshake_deadline = 10.0)
+    ?(max_respawns = 3) ?(backoff_base = 0.05) ?chunk ~workers ~argv ~fingerprint () =
+  {
+    workers;
+    argv;
+    fingerprint;
+    batch_deadline;
+    handshake_deadline;
+    max_respawns;
+    backoff_base;
+    chunk;
+  }
+
+type stats = {
+  spawned : int;
+  lost : int;
+  requeued : int;
+  remote : int;
+  unserved : int;
+}
+
+type batch = { id : int; idxs : int list; deadline : float }
+
+type wstate = Off | Handshaking of float | Idle | Busy of batch
+
+type worker = {
+  mutable pid : int;  (* -1 when no process is attached *)
+  mutable fd_in : Unix.file_descr;  (* coordinator -> worker stdin *)
+  mutable fd_out : Unix.file_descr;  (* worker stdout -> coordinator *)
+  mutable dec : Frame.decoder;
+  mutable state : wstate;
+  mutable attempts : int;  (* spawns of this slot, for backoff *)
+  mutable respawn_at : float;
+  mutable no_respawn : bool;  (* disqualified (bad fingerprint) or budget spent *)
+}
+
+type t = {
+  cfg : config;
+  slots : worker array;
+  read_buf : Bytes.t;
+  mutable next_id : int;
+  mutable respawns_left : int;
+  mutable s_spawned : int;
+  mutable s_lost : int;
+  mutable s_requeued : int;
+  mutable s_remote : int;
+  mutable s_unserved : int;
+}
+
+let config t = t.cfg
+
+let stats t =
+  {
+    spawned = t.s_spawned;
+    lost = t.s_lost;
+    requeued = t.s_requeued;
+    remote = t.s_remote;
+    unserved = t.s_unserved;
+  }
+
+let now () = Unix.gettimeofday ()
+
+let fresh_slot () =
+  {
+    pid = -1;
+    fd_in = Unix.stdin;
+    fd_out = Unix.stdin;
+    dec = Frame.decoder ();
+    state = Off;
+    attempts = 0;
+    respawn_at = 0.0;
+    no_respawn = false;
+  }
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec reap pid =
+  match Unix.waitpid [] pid with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap pid
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+(* Write a whole frame to a (non-blocking) worker stdin. A worker that
+   stops draining its pipe for ~2 s is as good as hung: give up and
+   let the caller drop it. *)
+let send w payload =
+  let data = Bytes.of_string (Frame.to_string payload) in
+  let len = Bytes.length data in
+  let give_up = now () +. 2.0 in
+  let rec go off =
+    if off >= len then true
+    else
+      match Unix.write w.fd_in data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          if now () > give_up then false
+          else begin
+            (try ignore (Unix.select [] [ w.fd_in ] [] 0.05)
+             with Unix.Unix_error _ -> ());
+            go off
+          end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go 0
+
+(* Drop a worker: requeue whatever it held, close its pipes, kill and
+   reap the process, and schedule a respawn while the budget lasts. *)
+let fail t ?(requeue = fun _ -> ()) w =
+  (match w.state with
+  | Busy b ->
+      requeue b.idxs;
+      t.s_requeued <- t.s_requeued + List.length b.idxs
+  | _ -> ());
+  if w.pid > 0 then begin
+    close_quiet w.fd_in;
+    close_quiet w.fd_out;
+    (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    reap w.pid;
+    t.s_lost <- t.s_lost + 1
+  end;
+  w.pid <- -1;
+  w.state <- Off;
+  if not w.no_respawn then
+    if t.respawns_left > 0 then begin
+      t.respawns_left <- t.respawns_left - 1;
+      w.respawn_at <-
+        now () +. (t.cfg.backoff_base *. (2.0 ** float_of_int (max 0 (w.attempts - 1))))
+    end
+    else w.no_respawn <- true
+
+let spawn t w =
+  w.attempts <- w.attempts + 1;
+  match
+    let stdin_r, stdin_w = Unix.pipe ~cloexec:true () in
+    let stdout_r, stdout_w =
+      try Unix.pipe ~cloexec:true ()
+      with e ->
+        Unix.close stdin_r;
+        Unix.close stdin_w;
+        raise e
+    in
+    let pid =
+      try Unix.create_process t.cfg.argv.(0) t.cfg.argv stdin_r stdout_w Unix.stderr
+      with e ->
+        List.iter close_quiet [ stdin_r; stdin_w; stdout_r; stdout_w ];
+        raise e
+    in
+    Unix.close stdin_r;
+    Unix.close stdout_w;
+    Unix.set_nonblock stdin_w;
+    Unix.set_nonblock stdout_r;
+    (pid, stdin_w, stdout_r)
+  with
+  | exception _ -> fail t w
+  | pid, fd_in, fd_out ->
+      w.pid <- pid;
+      w.fd_in <- fd_in;
+      w.fd_out <- fd_out;
+      w.dec <- Frame.decoder ();
+      t.s_spawned <- t.s_spawned + 1;
+      w.state <- Handshaking (now () +. t.cfg.handshake_deadline);
+      if not (send w (Protocol.encode (Protocol.Hello t.cfg.fingerprint))) then
+        fail t w
+
+let create cfg =
+  (* A worker dying between select and write would otherwise kill the
+     whole coordinator with SIGPIPE; we want EPIPE and a requeue. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let t =
+    {
+      cfg;
+      slots = Array.init (max 1 cfg.workers) (fun _ -> fresh_slot ());
+      read_buf = Bytes.create 65536;
+      next_id = 0;
+      respawns_left = cfg.max_respawns;
+      s_spawned = 0;
+      s_lost = 0;
+      s_requeued = 0;
+      s_remote = 0;
+      s_unserved = 0;
+    }
+  in
+  Array.iter (fun w -> spawn t w) t.slots;
+  t
+
+let shutdown t =
+  Array.iter
+    (fun w ->
+      if w.pid > 0 then begin
+        (* EOF is the polite stop; workers mid-compute get ~200 ms,
+           then SIGKILL — their results are not needed anymore. *)
+        close_quiet w.fd_in;
+        let rec wait tries =
+          match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+          | 0, _ ->
+              if tries > 0 then begin
+                (try ignore (Unix.select [] [] [] 0.02) with Unix.Unix_error _ -> ());
+                wait (tries - 1)
+              end
+              else begin
+                (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+                reap w.pid
+              end
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait tries
+          | exception Unix.Unix_error (_, _, _) -> ()
+        in
+        wait 10;
+        close_quiet w.fd_out;
+        w.pid <- -1
+      end;
+      w.state <- Off;
+      w.no_respawn <- true)
+    t.slots
+
+(* A slot that can still contribute: live in any state, or dead with a
+   respawn pending. *)
+let viable w = w.state <> Off || not w.no_respawn
+
+let run t ~tasks ?(on_done = fun _ -> ()) () =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  if n > 0 then begin
+    let chunk =
+      match t.cfg.chunk with
+      | Some c when c > 0 -> c
+      | Some _ | None -> Pool.auto_chunk ~jobs:(Array.length t.slots) n
+    in
+    let queue = Queue.create () in
+    for i = 0 to n - 1 do
+      Queue.add i queue
+    done;
+    let requeue idxs = List.iter (fun i -> Queue.add i queue) idxs in
+    let unserved _i = t.s_unserved <- t.s_unserved + 1 in
+    let handle_result w b entries =
+      let tbl = Hashtbl.create (List.length entries) in
+      List.iter
+        (fun (s, k, v) -> if not (Hashtbl.mem tbl (s, k)) then Hashtbl.add tbl (s, k) v)
+        entries;
+      List.iter
+        (fun i ->
+          match Hashtbl.find_opt tbl tasks.(i) with
+          | Some (Some v) when results.(i) = None ->
+              results.(i) <- Some v;
+              t.s_remote <- t.s_remote + 1;
+              on_done i
+          | Some (Some _) -> ()
+          | Some None | None ->
+              (* The worker answered the batch but could not serve this
+                 entry; re-sending it would fail the same way. *)
+              unserved i)
+        b.idxs;
+      w.state <- Idle
+    in
+    let rec drain w =
+      if w.state <> Off then
+        match Frame.next w.dec with
+        | `Await -> ()
+        | `Corrupt -> fail t ~requeue w
+        | `Frame payload -> (
+            match (Protocol.decode payload, w.state) with
+            | Some (Protocol.Ready fp), Handshaking _ ->
+                if String.equal fp t.cfg.fingerprint then begin
+                  w.state <- Idle;
+                  drain w
+                end
+                else begin
+                  (* Different code: respawning the same binary cannot
+                     help, and its numbers must never be accepted. *)
+                  w.no_respawn <- true;
+                  fail t ~requeue w
+                end
+            | Some (Protocol.Result (id, entries)), Busy b when b.id = id ->
+                handle_result w b entries;
+                drain w
+            | _ -> fail t ~requeue w)
+    in
+    let rec pump w =
+      if w.state <> Off then
+        match Unix.read w.fd_out t.read_buf 0 (Bytes.length t.read_buf) with
+        | 0 -> fail t ~requeue w
+        | got ->
+            Frame.feed w.dec t.read_buf got;
+            drain w;
+            pump w
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump w
+        | exception Unix.Unix_error (_, _, _) -> fail t ~requeue w
+    in
+    let assign w =
+      if not (Queue.is_empty queue) then begin
+        let b = min chunk (Queue.length queue) in
+        let idxs = List.init b (fun _ -> Queue.pop queue) in
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let payload =
+          Protocol.encode (Protocol.Batch (id, List.map (fun i -> tasks.(i)) idxs))
+        in
+        if send w payload then
+          w.state <- Busy { id; idxs; deadline = now () +. t.cfg.batch_deadline }
+        else begin
+          (* Still Idle, so [fail] has nothing in flight to requeue. *)
+          requeue idxs;
+          fail t ~requeue w
+        end
+      end
+    in
+    let busy () = Array.exists (fun w -> match w.state with Busy _ -> true | _ -> false) t.slots in
+    while not (Queue.is_empty queue && not (busy ())) do
+      if not (Array.exists viable t.slots) then
+        (* Every worker is gone for good: hand the remainder back. *)
+        while not (Queue.is_empty queue) do
+          unserved (Queue.pop queue)
+        done
+      else begin
+        let tnow = now () in
+        (* Respawns whose backoff has elapsed. *)
+        Array.iter
+          (fun w ->
+            if w.state = Off && (not w.no_respawn) && tnow >= w.respawn_at then spawn t w)
+          t.slots;
+        (* Hand batches to idle workers. *)
+        Array.iter (fun w -> if w.state = Idle then assign w) t.slots;
+        (* Wait for results, handshakes, deaths — or the next deadline. *)
+        let timeout = ref 0.25 in
+        let consider at = if at -. tnow < !timeout then timeout := max 0.005 (at -. tnow) in
+        Array.iter
+          (fun w ->
+            match w.state with
+            | Handshaking d -> consider d
+            | Busy b -> consider b.deadline
+            | Off when not w.no_respawn -> consider w.respawn_at
+            | Off | Idle -> ())
+          t.slots;
+        let fds =
+          Array.fold_left
+            (fun acc w -> if w.state <> Off then w.fd_out :: acc else acc)
+            [] t.slots
+        in
+        (match Unix.select fds [] [] !timeout with
+        | readable, _, _ ->
+            Array.iter
+              (fun w -> if w.state <> Off && List.mem w.fd_out readable then pump w)
+              t.slots
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        (* Deadlines: a hung handshake or batch is a lost worker. *)
+        let tnow = now () in
+        Array.iter
+          (fun w ->
+            match w.state with
+            | Handshaking d when tnow > d -> fail t ~requeue w
+            | Busy b when tnow > b.deadline -> fail t ~requeue w
+            | _ -> ())
+          t.slots
+      end
+    done
+  end;
+  results

@@ -1,0 +1,90 @@
+(** The coordinator side of multi-process cell sharding.
+
+    A coordinator owns a fixed set of worker slots. Each slot runs an
+    [argv]-spawned subprocess speaking the {!Protocol} over pipes
+    (worker stdin/stdout); stderr is inherited, so worker warnings
+    surface normally. Batches of [(section, encoded-key)] tasks are
+    handed out chunk-wise and the encoded results collected.
+
+    Robust by construction — every failure mode degrades, none
+    escalates:
+
+    - {b handshake}: a worker must answer [hello] with [ready
+      <fingerprint>] matching the coordinator's own before any work is
+      sent. A mismatched fingerprint permanently disqualifies the slot
+      (respawning the same binary cannot fix it).
+    - {b death} (exit, SIGKILL): detected as EOF on the result pipe;
+      the in-flight batch is requeued to the survivors.
+    - {b hang}: a batch (or handshake) outliving its deadline gets the
+      worker killed and its batch requeued.
+    - {b torn / garbage frames}: an undecodable frame or an over-limit
+      length drops the worker and requeues its batch — a corrupt
+      stream is never resynchronised.
+    - {b respawn}: lost slots are respawned with exponential backoff,
+      bounded by a total respawn budget.
+    - {b total loss}: tasks that no worker can serve come back as
+      [None] from {!run}; the caller computes them in-process.
+
+    The coordinator is single-threaded: {!run} multiplexes all worker
+    pipes with [select] over non-blocking descriptors, so a peer that
+    sends half a frame and stalls can never block it. *)
+
+type config = {
+  workers : int;  (** number of worker slots (>= 1). *)
+  argv : string array;  (** worker command line, [argv.(0)] = program. *)
+  fingerprint : string;  (** required worker code fingerprint. *)
+  batch_deadline : float;  (** seconds a worker may hold one batch. *)
+  handshake_deadline : float;  (** seconds from spawn to [ready]. *)
+  max_respawns : int;  (** total respawn budget across the run. *)
+  backoff_base : float;  (** first respawn delay; doubles per attempt. *)
+  chunk : int option;  (** tasks per batch; [None] = auto from count. *)
+}
+
+val default_config :
+  ?batch_deadline:float ->
+  ?handshake_deadline:float ->
+  ?max_respawns:int ->
+  ?backoff_base:float ->
+  ?chunk:int ->
+  workers:int ->
+  argv:string array ->
+  fingerprint:string ->
+  unit ->
+  config
+(** Defaults: 300 s batch deadline (cells at crossover scale are slow),
+    10 s handshake deadline, 3 respawns, 50 ms base backoff, auto
+    chunking. *)
+
+type stats = {
+  spawned : int;  (** worker processes started (incl. respawns). *)
+  lost : int;  (** workers dropped: death, hang, corrupt stream, bad
+                   fingerprint. *)
+  requeued : int;  (** in-flight tasks returned to the queue by a
+                       worker failure. *)
+  remote : int;  (** tasks completed by workers. *)
+  unserved : int;  (** tasks handed back to the caller as [None]. *)
+}
+
+type t
+
+val create : config -> t
+(** Spawn the worker slots (handshakes complete lazily inside
+    {!run}). Never raises: a slot that cannot spawn is simply lost
+    and charged to the respawn budget. *)
+
+val config : t -> config
+val stats : t -> stats
+
+val run :
+  t -> tasks:(string * string) array -> ?on_done:(int -> unit) -> unit -> string option array
+(** [run t ~tasks ()] distributes [tasks.(i) = (section, key)] over
+    the live workers and returns the encoded values, index-aligned.
+    [None] marks a task no worker could serve (all workers lost, or
+    the worker reported the entry unservable); the caller computes
+    those in-process. [on_done i] fires once per task completed
+    remotely — progress aggregation. A [t] is reusable across many
+    [run] calls; workers stay warm in between. *)
+
+val shutdown : t -> unit
+(** Close the pipes (workers see EOF and exit), reap the processes
+    (escalating to SIGKILL), release the slots. Idempotent. *)

@@ -1,0 +1,74 @@
+(* A frame is [4-byte big-endian payload length][payload]. The length
+   cap doubles as a garbage detector: random bytes parsed as a length
+   overflow it with probability 255/256 per leading byte. *)
+
+let max_frame = 16 * 1024 * 1024
+
+let header_len = 4
+
+let put_be32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_be32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let to_string payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_len + n) in
+  put_be32 b 0 n;
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+let write oc payload =
+  output_string oc (to_string payload);
+  flush oc
+
+let read ic =
+  match really_input_string ic header_len with
+  | exception End_of_file -> None
+  | hdr ->
+      let len = get_be32 (Bytes.unsafe_of_string hdr) 0 in
+      if len < 0 || len > max_frame then None
+      else (
+        match really_input_string ic len with
+        | exception End_of_file -> None
+        | payload -> Some payload)
+
+(* ---------------- incremental decoding ---------------- *)
+
+type decoder = { mutable buf : Bytes.t; mutable len : int }
+
+let decoder () = { buf = Bytes.create 65536; len = 0 }
+
+let feed d src n =
+  if n > 0 then begin
+    let need = d.len + n in
+    if need > Bytes.length d.buf then begin
+      let cap = max need (2 * Bytes.length d.buf) in
+      let bigger = Bytes.create cap in
+      Bytes.blit d.buf 0 bigger 0 d.len;
+      d.buf <- bigger
+    end;
+    Bytes.blit src 0 d.buf d.len n;
+    d.len <- need
+  end
+
+let next d =
+  if d.len < header_len then `Await
+  else
+    let plen = get_be32 d.buf 0 in
+    if plen < 0 || plen > max_frame then `Corrupt
+    else if d.len < header_len + plen then `Await
+    else begin
+      let payload = Bytes.sub_string d.buf header_len plen in
+      let rest = d.len - header_len - plen in
+      Bytes.blit d.buf (header_len + plen) d.buf 0 rest;
+      d.len <- rest;
+      `Frame payload
+    end

@@ -1,0 +1,107 @@
+type msg =
+  | Hello of string
+  | Ready of string
+  | Batch of int * (string * string) list
+  | Result of int * (string * string * string option) list
+
+let entry_sep = " := "
+
+let encode = function
+  | Hello fp -> "hello " ^ fp
+  | Ready fp -> "ready " ^ fp
+  | Batch (id, tasks) ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf (Printf.sprintf "batch %d" id);
+      List.iter
+        (fun (section, key) ->
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf section;
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf key)
+        tasks;
+      Buffer.contents buf
+  | Result (id, entries) ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf (Printf.sprintf "result %d" id);
+      List.iter
+        (fun (section, key, value) ->
+          Buffer.add_char buf '\n';
+          (match value with
+          | Some v ->
+              Buffer.add_string buf "ok ";
+              Buffer.add_string buf section;
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf key;
+              Buffer.add_string buf entry_sep;
+              Buffer.add_string buf v
+          | None ->
+              Buffer.add_string buf "no ";
+              Buffer.add_string buf section;
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf key))
+        entries;
+      Buffer.contents buf
+
+(* ---------------- decoding (total) ---------------- *)
+
+let ( let* ) = Option.bind
+
+let opt_all f l =
+  List.fold_right
+    (fun x acc ->
+      let* acc = acc in
+      let* y = f x in
+      Some (y :: acc))
+    l (Some [])
+
+(* [<section> <key>] — the section is the first token (no spaces), the
+   key is everything after it (keys contain spaces). *)
+let split_section s =
+  let* i = String.index_opt s ' ' in
+  if i = 0 || i = String.length s - 1 then None
+  else Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let find_sub ~sub s =
+  let n = String.length s and sl = String.length sub in
+  let rec go i =
+    if i + sl > n then None else if String.sub s i sl = sub then Some i else go (i + 1)
+  in
+  go 0
+
+let parse_task line = split_section line
+
+let parse_entry line =
+  if String.length line < 3 then None
+  else
+    let tag = String.sub line 0 3 in
+    let rest = String.sub line 3 (String.length line - 3) in
+    if tag = "ok " then
+      let* i = find_sub ~sub:entry_sep rest in
+      let lhs = String.sub rest 0 i in
+      let value =
+        String.sub rest (i + String.length entry_sep)
+          (String.length rest - i - String.length entry_sep)
+      in
+      let* section, key = split_section lhs in
+      Some (section, key, Some value)
+    else if tag = "no " then
+      let* section, key = split_section rest in
+      Some (section, key, None)
+    else None
+
+let decode payload =
+  match String.split_on_char '\n' payload with
+  | [] -> None
+  | first :: rest -> (
+      match String.split_on_char ' ' first with
+      | [ "hello"; fp ] when rest = [] && fp <> "" -> Some (Hello fp)
+      | [ "ready"; fp ] when rest = [] && fp <> "" -> Some (Ready fp)
+      | [ "batch"; id ] ->
+          let* id = int_of_string_opt id in
+          let* tasks = opt_all parse_task rest in
+          Some (Batch (id, tasks))
+      | [ "result"; id ] ->
+          let* id = int_of_string_opt id in
+          let* entries = opt_all parse_entry rest in
+          Some (Result (id, entries))
+      | _ -> None)

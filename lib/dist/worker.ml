@@ -1,0 +1,38 @@
+let serve ~fingerprint ~compute ?(on_batch = fun () -> ()) ic oc =
+  (* A coordinator that vanished mid-session surfaces as EPIPE on the
+     reply (SIGPIPE is ignored — inherited from the coordinator, and
+     set here for standalone runs). That is a normal stop for a
+     worker, not a crash. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let write payload =
+    try
+      Frame.write oc payload;
+      true
+    with Sys_error _ -> false
+  in
+  let rec loop () =
+    match Frame.read ic with
+    | None -> () (* EOF or torn/oversized frame: stop serving. *)
+    | Some payload -> (
+        match Protocol.decode payload with
+        | Some (Protocol.Hello _) ->
+            (* The coordinator verifies; the worker just states who it
+               is. A mismatch ends in the coordinator dropping us. *)
+            if write (Protocol.encode (Protocol.Ready fingerprint)) then loop ()
+        | Some (Protocol.Batch (id, tasks)) ->
+            let entries =
+              List.map
+                (fun (section, key) ->
+                  let value = try compute ~section ~key with _ -> None in
+                  (section, key, value))
+                tasks
+            in
+            if write (Protocol.encode (Protocol.Result (id, entries))) then begin
+              on_batch ();
+              loop ()
+            end
+        | Some (Protocol.Ready _ | Protocol.Result _) | None ->
+            (* Protocol violation: the stream is not trustworthy. *)
+            ())
+  in
+  loop ()

@@ -1,0 +1,26 @@
+(** The worker side of the cell-distribution protocol.
+
+    A worker process is spawned by the coordinator with its stdin and
+    stdout connected by pipes. {!serve} answers the fingerprint
+    handshake and then loops: read a batch frame, compute every entry
+    through the [compute] callback, reply with a result frame. It
+    returns when the coordinator closes the pipe (normal shutdown) or
+    on the first protocol violation — a worker never tries to
+    resynchronise a corrupt stream. *)
+
+val serve :
+  fingerprint:string ->
+  compute:(section:string -> key:string -> string option) ->
+  ?on_batch:(unit -> unit) ->
+  in_channel ->
+  out_channel ->
+  unit
+(** [serve ~fingerprint ~compute ic oc] runs the worker loop.
+    [compute ~section ~key] returns the encoded result for an encoded
+    cell key, or [None] when the key cannot be decoded or the
+    computation fails — the entry is then reported back as
+    unservable and the coordinator computes it in-process. A
+    [compute] exception is contained to its entry (reported as
+    unservable), never torn across the protocol stream. [on_batch]
+    runs after each batch reply is flushed (e.g. to flush a worker-side
+    result store). *)

@@ -8,6 +8,7 @@ module A = Rme_core.Adversary
 module Store = Rme_store.Store
 module Codec = Rme_store.Codec
 module Registry = Rme_locks.Registry
+module Dist = Rme_dist.Coordinator
 
 (* ------------------------------------------------------------------ *)
 (* Harness trial cells. *)
@@ -229,6 +230,51 @@ let adv_result_decode s =
   let* survivors = get Codec.int_dec "survivors" in
   Some { rounds; bound; survivors }
 
+(* Key decoding — what a worker process does with the key strings the
+   coordinator streams to it. The store itself never decodes keys
+   (disk lookup encodes the query); workers must, to reconstruct the
+   cell they are asked to compute. The lock factory is recovered from
+   the registry by name, so a key naming an unknown lock (never
+   produced by same-fingerprint code, but the wire is untrusted)
+   decodes to [None] rather than raising. *)
+
+let cell_of_key_string s =
+  let* fs = Codec.parse_fields s in
+  let get f k = Option.bind (Codec.lookup fs k) f in
+  let* lock_name = Option.bind (Codec.lookup fs "lock") Codec.unescape in
+  let* lock = Registry.find lock_name in
+  let* n = get Codec.int_dec "n" in
+  let* width = get Codec.int_dec "w" in
+  let* model = get Codec.model_dec "model" in
+  let* seed = get Codec.int_dec "seed" in
+  let* superpassages = get Codec.int_dec "sp" in
+  let* crashes = get Codec.crash_policy_dec "crashes" in
+  let* allow_cs_crash = get Codec.bool_dec "cs_crash" in
+  let* max_crashes = get Codec.int_dec "max_crashes" in
+  Some { lock; n; width; model; seed; superpassages; crashes; allow_cs_crash; max_crashes }
+
+let adv_cell_of_key_string s =
+  let* fs = Codec.parse_fields s in
+  let get f k = Option.bind (Codec.lookup fs k) f in
+  let* lock_name = Option.bind (Codec.lookup fs "lock") Codec.unescape in
+  let* a_lock = Registry.find lock_name in
+  let* a_n = get Codec.int_dec "n" in
+  let* a_width = get Codec.int_dec "w" in
+  let* a_model = get Codec.model_dec "model" in
+  let* k = get Codec.int_dec "k" in
+  Some { a_lock; a_n; a_width; a_model; a_k = Some k }
+
+(* The worker-side dispatch: encoded key in, encoded result out.
+   Total — an undecodable or unknown-section key is reported back as
+   unservable (the coordinator computes it in-process) instead of
+   taking the worker down. *)
+let compute_encoded ~section ~key =
+  if String.equal section cell_section then
+    Option.map (fun c -> cell_result_encode (compute_cell c)) (cell_of_key_string key)
+  else if String.equal section adv_section then
+    Option.map (fun c -> adv_result_encode (compute_adv c)) (adv_cell_of_key_string key)
+  else None
+
 (* The code fingerprint versioning every store entry. [schema_version]
    is the convention-bumped part: raise it whenever harness, lock or
    adversary semantics change in a way that alters results. The
@@ -248,7 +294,7 @@ let code_fingerprint () =
 (* ------------------------------------------------------------------ *)
 (* The engine. *)
 
-type counters = { computed : int; cached : int; disk : int }
+type counters = { computed : int; cached : int; disk : int; remote : int }
 
 type t = {
   pool : Pool.t;
@@ -256,10 +302,12 @@ type t = {
   memo : (key, cell_result) Hashtbl.t;
   adv_memo : (adv_key, adv_result) Hashtbl.t;
   mutable store : Store.t option;
+  mutable dist : Dist.t option;
   mutable progress : bool;
   mutable n_computed : int;
   mutable n_cached : int;
   mutable n_disk : int;
+  mutable n_remote : int;
 }
 
 let open_store dir =
@@ -269,22 +317,44 @@ let open_store dir =
       dir (Printexc.to_string e);
     None
 
-let create ?(jobs = 1) ?cache_dir ?(progress = false) () =
+(* The worker command line when none is given: this very binary with
+   the front-ends' conventional worker-mode argument. Correct for
+   [bin/rme] ([rme worker]); other hosts (bench, tests) pass their
+   own [worker_argv]. *)
+let default_worker_argv () = [| Sys.executable_name; "worker" |]
+
+let make_dist ?worker_argv ?worker_deadline ~workers () =
+  if workers <= 0 then None
+  else
+    let argv =
+      match worker_argv with Some a -> a | None -> default_worker_argv ()
+    in
+    Some
+      (Dist.create
+         (Dist.default_config ?batch_deadline:worker_deadline ~workers ~argv
+            ~fingerprint:(code_fingerprint ()) ()))
+
+let create ?(jobs = 1) ?cache_dir ?(progress = false) ?(workers = 0) ?worker_argv
+    ?worker_deadline () =
   {
     pool = Pool.create ~jobs;
     guard = Mutex.create ();
     memo = Hashtbl.create 256;
     adv_memo = Hashtbl.create 64;
     store = (match cache_dir with None -> None | Some d -> open_store d);
+    dist = make_dist ?worker_argv ?worker_deadline ~workers ();
     progress;
     n_computed = 0;
     n_cached = 0;
     n_disk = 0;
+    n_remote = 0;
   }
 
 let jobs t = Pool.jobs t.pool
+let workers t = match t.dist with None -> 0 | Some d -> (Dist.config d).Dist.workers
 let cache_dir t = Option.map Store.dir t.store
 let store_stats t = Option.map Store.stats t.store
+let dist_stats t = Option.map Dist.stats t.dist
 
 (* A store failure must never take the run down: fall back to
    uncached operation (results stay correct, just recomputed). *)
@@ -301,11 +371,23 @@ let safe_flush t =
 
 let shutdown t =
   safe_flush t;
+  (match t.dist with
+  | None -> ()
+  | Some d ->
+      Dist.shutdown d;
+      t.dist <- None);
   Pool.shutdown t.pool
 
 let counters t =
   Mutex.lock t.guard;
-  let c = { computed = t.n_computed; cached = t.n_cached; disk = t.n_disk } in
+  let c =
+    {
+      computed = t.n_computed;
+      cached = t.n_cached;
+      disk = t.n_disk;
+      remote = t.n_remote;
+    }
+  in
   Mutex.unlock t.guard;
   c
 
@@ -387,14 +469,42 @@ let prefetch_memo t table key_of compute ~section ~enc_key ~enc_res ~dec_res cel
     end;
     Mutex.unlock progress_guard
   in
+  (* Worker tier: ship the missing keys to worker processes over the
+     store wire format. Whatever they cannot serve — workers lost,
+     entry reported unservable, or a value that fails to decode —
+     falls through to the in-process pool below, so distribution can
+     only relocate work, never change results. Per-worker completions
+     aggregate into the same progress line as local ones. *)
+  let remote =
+    match t.dist with
+    | Some d when nw > 0 ->
+        let tasks = Array.map (fun (k, _) -> (section, enc_key k)) work in
+        let values =
+          Dist.run d ~tasks
+            ~on_done:(fun _ ->
+              if show then begin
+                Atomic.incr done_count;
+                report ~final:false
+              end)
+            ()
+        in
+        Array.map (fun v -> Option.bind v dec_res) values
+    | _ -> Array.make nw None
+  in
+  let n_remote =
+    Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 remote
+  in
   let results =
     Pool.map_array t.pool nw (fun i ->
-        let r = compute (snd work.(i)) in
-        if show then begin
-          Atomic.incr done_count;
-          report ~final:false
-        end;
-        r)
+        match remote.(i) with
+        | Some r -> r
+        | None ->
+            let r = compute (snd work.(i)) in
+            if show then begin
+              Atomic.incr done_count;
+              report ~final:false
+            end;
+            r)
   in
   if show then report ~final:true;
   Mutex.lock t.guard;
@@ -406,6 +516,7 @@ let prefetch_memo t table key_of compute ~section ~enc_key ~enc_res ~dec_res cel
       | Some s -> Store.add s ~section ~key:(enc_key k) ~value:(enc_res results.(i)))
     work;
   t.n_computed <- t.n_computed + nw;
+  t.n_remote <- t.n_remote + n_remote;
   Mutex.unlock t.guard;
   safe_flush t
 
@@ -504,6 +615,17 @@ let set_cache_dir dir =
 
 let set_progress b = (default ()).progress <- b
 
+let set_workers ?argv ?deadline n =
+  let e = default () in
+  if workers e <> n || argv <> None then begin
+    (match e.dist with
+    | None -> ()
+    | Some d ->
+        Dist.shutdown d;
+        e.dist <- None);
+    e.dist <- make_dist ?worker_argv:argv ?worker_deadline:deadline ~workers:n ()
+  end
+
 let resolve_cache_dir ?cli ~no_cache () =
   if no_cache then None
   else
@@ -513,3 +635,37 @@ let resolve_cache_dir ?cli ~no_cache () =
         match Sys.getenv_opt "RME_CACHE_DIR" with
         | None | Some "" -> None
         | Some d -> Some d)
+
+let resolve_workers ?cli () =
+  match cli with
+  | Some n -> max 0 n
+  | None -> (
+      match Sys.getenv_opt "RME_WORKERS" with
+      | None | Some "" -> 0
+      | Some v -> ( match int_of_string_opt v with Some n -> max 0 n | None -> 0))
+
+(* ------------------------------------------------------------------ *)
+(* The worker side: what [rme worker] / [bench --worker] run. With a
+   cache directory the worker gets its own disk tier — lookups go
+   store → compute, computed entries are written back and flushed
+   after every batch, so a long sweep's results survive even a
+   coordinator that dies mid-run. *)
+
+let serve_worker ?cache_dir ic oc =
+  let store = match cache_dir with None -> None | Some d -> open_store d in
+  let compute ~section ~key =
+    match Option.bind store (fun s -> Store.find s ~section key) with
+    | Some v -> Some v
+    | None ->
+        let v = compute_encoded ~section ~key in
+        (match (store, v) with
+        | Some s, Some value -> Store.add s ~section ~key ~value
+        | _ -> ());
+        v
+  in
+  let on_batch () =
+    match store with
+    | None -> ()
+    | Some s -> ( try Store.flush s with _ -> ())
+  in
+  Rme_dist.Worker.serve ~fingerprint:(code_fingerprint ()) ~compute ~on_batch ic oc

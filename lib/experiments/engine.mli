@@ -26,15 +26,35 @@
 
 type t
 
-val create : ?jobs:int -> ?cache_dir:string -> ?progress:bool -> unit -> t
+val create :
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?progress:bool ->
+  ?workers:int ->
+  ?worker_argv:string array ->
+  ?worker_deadline:float ->
+  unit ->
+  t
 (** [create ~jobs ()] makes an engine over a fresh pool ([jobs]
     defaults to 1 — sequential; [0] means auto-detect) and an empty
     memo cache. [cache_dir] attaches a persistent result store under
     the memo (created on demand; unusable directories degrade to
     uncached operation with a warning, never an error). [progress]
-    enables a live cells-done/ETA line on stderr during {!prefetch}. *)
+    enables a live cells-done/ETA line on stderr during {!prefetch}.
+
+    [workers > 0] attaches a {!Rme_dist.Coordinator} of that many
+    worker subprocesses as a third lookup tier (memory → disk →
+    workers → compute). [worker_argv] is the worker command line
+    (default: this executable with a ["worker"] argument — right for
+    [bin/rme], other hosts must pass their own); [worker_deadline]
+    bounds how long a worker may hold one batch before it is declared
+    hung. Worker failures of any kind degrade to in-process compute;
+    they can never change results (see {!counters}). *)
 
 val jobs : t -> int
+
+(** Worker slots of the attached coordinator; [0] when none. *)
+val workers : t -> int
 val shutdown : t -> unit
 (** Flush the store (if any) and join the pool's domains. *)
 
@@ -42,6 +62,10 @@ val cache_dir : t -> string option
 (** The attached store's directory, if a store is attached. *)
 
 val store_stats : t -> Rme_store.Store.stats option
+
+val dist_stats : t -> Rme_dist.Coordinator.stats option
+(** Worker-tier telemetry (spawns, losses, requeues, remote/unserved
+    cells), when a coordinator is attached. *)
 
 val default : unit -> t
 (** The process-wide engine the experiment functions use when no
@@ -62,11 +86,23 @@ val set_cache_dir : string option -> unit
 val set_progress : bool -> unit
 (** Toggle the default engine's prefetch progress readout. *)
 
+val set_workers : ?argv:string array -> ?deadline:float -> int -> unit
+(** Attach ([n > 0]) or detach ([0]) the default engine's worker
+    coordinator, shutting down any previous one. This is what the
+    [--workers N] flags of [bench/main.exe] and [rme experiment]
+    call; [argv] is the worker command line the front-end spawns
+    itself with. *)
+
 val resolve_cache_dir : ?cli:string -> no_cache:bool -> unit -> string option
 (** The cache-directory resolution both front-ends share:
     [--no-cache] beats everything, an explicit [--cache-dir] beats the
     [RME_CACHE_DIR] environment variable, and with neither set the
     cache is off. *)
+
+val resolve_workers : ?cli:int -> unit -> int
+(** Worker-count resolution: an explicit [--workers] beats the
+    [RME_WORKERS] environment variable; with neither set (or
+    unparsable), workers are off ([0]). Negative values clamp to 0. *)
 
 (** {1 Harness trial cells} *)
 
@@ -152,13 +188,16 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** {1 Counters} *)
 
-type counters = { computed : int; cached : int; disk : int }
+type counters = { computed : int; cached : int; disk : int; remote : int }
 
 val counters : t -> counters
 (** Cumulative cells computed / served from the in-memory memo /
     served from the persistent store since the engine was created.
     Deterministic for a given sequence of [prefetch] batches and a
-    given store state — independent of [jobs]. *)
+    given store state — independent of [jobs]. [remote] counts the
+    subset of [computed] performed by worker processes; unlike the
+    others it depends on worker health and is telemetry, not part of
+    the deterministic contract. *)
 
 (** {1 Persistence} *)
 
@@ -179,8 +218,35 @@ val cell_result_decode : string -> cell_result option
 (** Exact round-trip: [cell_result_decode (cell_result_encode r) = Some r]
     (floats are encoded in hex notation). Malformed input is [None]. *)
 
+val cell_of_key_string : string -> cell option
+(** Decode a canonical cell key back into a computable cell (the lock
+    factory is recovered from the registry by name) — what a worker
+    process does with the keys the coordinator streams to it. Total;
+    inverse of {!cell_key_string} up to key identity:
+    [cell_of_key_string (cell_key_string c)] is a cell with the same
+    key. *)
+
 val adv_key_string : adv_cell -> string
 (** Keyed on the {e effective} contention threshold, like the memo. *)
 
 val adv_result_encode : adv_result -> string
 val adv_result_decode : string -> adv_result option
+
+val adv_cell_of_key_string : string -> adv_cell option
+(** As {!cell_of_key_string}, for adversary cells. The decoded cell
+    carries the effective threshold explicitly. *)
+
+(** {1 Multi-process worker sharding} *)
+
+val compute_encoded : section:string -> key:string -> string option
+(** The worker-side dispatch: decode the key of the given section,
+    compute the cell, encode the result. [None] for undecodable keys
+    or unknown sections — reported back to the coordinator as
+    unservable, which then computes in-process. *)
+
+val serve_worker : ?cache_dir:string -> in_channel -> out_channel -> unit
+(** Run the {!Rme_dist.Worker} loop over the given channels (the
+    hidden [rme worker] / [bench --worker] entry points). With
+    [cache_dir], the worker consults and feeds that store itself
+    (flushed after every batch), so worker-computed results persist
+    even if the coordinator is lost. *)

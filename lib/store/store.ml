@@ -12,8 +12,11 @@ type t = {
   fingerprint : string;
   shard : string;  (* absolute path of the shard this handle owns *)
   guard : Mutex.t;
-  entries : (string * string, string) Hashtbl.t;  (* (section, key) -> value *)
+  entries : (string * string, string) Hashtbl.t;
+      (* the disk view: entries loaded from shard files at open *)
   added : (string * string, string) Hashtbl.t;
+      (* the pending buffer: entries this handle wrote (or salvaged)
+         and owns until [flush]; shadows [entries] on lookup *)
   mutable dirty : bool;
   mutable shards_loaded : int;
   mutable stale_shards : int;
@@ -125,11 +128,11 @@ let load t =
             | `Corrupt salvaged ->
                 t.quarantined <- t.quarantined + 1;
                 quarantine t path;
-                (* The file is gone; keep its valid prefix and make
-                   this handle responsible for re-persisting it. *)
+                (* The file is gone; its valid prefix goes into the
+                   pending buffer, making this handle responsible for
+                   re-persisting it. *)
                 List.iter
                   (fun (s, k, v) ->
-                    Hashtbl.replace t.entries (s, k) v;
                     Hashtbl.replace t.added (s, k) v;
                     t.dirty <- true)
                   salvaged)
@@ -176,15 +179,16 @@ let with_guard t f =
 
 let find t ~section key =
   with_guard t (fun () ->
-      match Hashtbl.find_opt t.entries (section, key) with
-      | Some v ->
-          t.disk_hits <- t.disk_hits + 1;
-          Some v
-      | None -> None)
+      let hit =
+        match Hashtbl.find_opt t.added (section, key) with
+        | Some _ as v -> v
+        | None -> Hashtbl.find_opt t.entries (section, key)
+      in
+      (match hit with Some _ -> t.disk_hits <- t.disk_hits + 1 | None -> ());
+      hit)
 
 let add t ~section ~key ~value =
   with_guard t (fun () ->
-      Hashtbl.replace t.entries (section, key) value;
       Hashtbl.replace t.added (section, key) value;
       t.dirty <- true)
 
@@ -216,8 +220,13 @@ let flush t =
 
 let stats t =
   with_guard t (fun () ->
+      let overlap =
+        Hashtbl.fold
+          (fun sk _ acc -> if Hashtbl.mem t.entries sk then acc + 1 else acc)
+          t.added 0
+      in
       {
-        entries = Hashtbl.length t.entries;
+        entries = Hashtbl.length t.entries + Hashtbl.length t.added - overlap;
         shards_loaded = t.shards_loaded;
         stale_shards = t.stale_shards;
         quarantined = t.quarantined;
@@ -226,4 +235,9 @@ let stats t =
       })
 
 let iter t f =
-  with_guard t (fun () -> Hashtbl.iter (fun (s, k) v -> f ~section:s ~key:k ~value:v) t.entries)
+  with_guard t (fun () ->
+      Hashtbl.iter
+        (fun (s, k) v ->
+          if not (Hashtbl.mem t.added (s, k)) then f ~section:s ~key:k ~value:v)
+        t.entries;
+      Hashtbl.iter (fun (s, k) v -> f ~section:s ~key:k ~value:v) t.added)

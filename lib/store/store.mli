@@ -32,7 +32,9 @@
 type t
 
 type stats = {
-  entries : int;  (** live entries currently loaded. *)
+  entries : int;
+      (** live entries: loaded from disk plus pending, overlaps counted
+          once. *)
   shards_loaded : int;  (** clean shards read at open. *)
   stale_shards : int;  (** skipped: fingerprint mismatch. *)
   quarantined : int;  (** corrupt files moved to [quarantine/]. *)
@@ -49,10 +51,14 @@ val dir : t -> string
 val fingerprint : t -> string
 
 val find : t -> section:string -> string -> string option
-(** [find t ~section key] — thread-safe lookup by encoded key. *)
+(** [find t ~section key] — thread-safe lookup by encoded key. Checks
+    this handle's pending buffer first, then the disk view: an entry
+    {!add}ed but not yet flushed is served (and shadows any value the
+    handle loaded from disk under the same key). *)
 
 val add : t -> section:string -> key:string -> value:string -> unit
-(** Record an entry in memory; it reaches disk at the next {!flush}.
+(** Record an entry in the pending buffer; it is visible to {!find} on
+    this handle immediately and reaches disk at the next {!flush}.
     Keys and values must be single-line strings without [" := "]
     (guaranteed by the {!Codec} field syntax). *)
 

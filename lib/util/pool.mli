@@ -25,6 +25,12 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Total parallelism, including the calling domain. *)
 
+val auto_chunk : jobs:int -> int -> int
+(** [auto_chunk ~jobs n] is the chunk size {!map_array} picks for [n]
+    tasks when none is given: about four chunks per worker, capped at
+    64, floored at 1. Exposed so other schedulers over the same cells
+    (the multi-process coordinator) size their batches identically. *)
+
 val map_array : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
 (** [map_array t n f] computes [[| f 0; ...; f (n-1) |]]. Contiguous
     index chunks are handed out through a shared atomic counter, so

@@ -221,6 +221,6 @@ let suite =
       Alcotest.test_case "invariants I1-I10 at n=8" `Slow test_invariants_small_n;
       Alcotest.test_case "invariants I1-I10 at n=10" `Slow test_invariants_n10;
       Alcotest.test_case "bounds formulas" `Quick test_bounds_formulas;
-      QCheck_alcotest.to_alcotest prop_adversary_meets_bound;
-      QCheck_alcotest.to_alcotest prop_theorem1_min;
+      Qc.to_alcotest prop_adversary_meets_bound;
+      Qc.to_alcotest prop_theorem1_min;
     ] )

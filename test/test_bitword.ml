@@ -130,8 +130,8 @@ let suite =
       Alcotest.test_case "binary printing" `Quick test_pp;
       Alcotest.test_case "width 1 edge cases" `Quick test_width_one;
       Alcotest.test_case "width 62 edge cases (63 rejected)" `Quick test_width_max;
-      QCheck_alcotest.to_alcotest prop_truncate_idempotent;
-      QCheck_alcotest.to_alcotest prop_add_assoc;
-      QCheck_alcotest.to_alcotest prop_set_then_test;
-      QCheck_alcotest.to_alcotest prop_popcount_set;
+      Qc.to_alcotest prop_truncate_idempotent;
+      Qc.to_alcotest prop_add_assoc;
+      Qc.to_alcotest prop_set_then_test;
+      Qc.to_alcotest prop_popcount_set;
     ] )

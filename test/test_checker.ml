@@ -240,6 +240,6 @@ let suite =
       Alcotest.test_case "tampered RMR flag caught" `Quick test_tampered_rmr_caught;
       Alcotest.test_case "injected CS step caught" `Quick test_injected_cs_step_caught;
       Alcotest.test_case "report counts" `Quick test_report_counts;
-      QCheck_alcotest.to_alcotest prop_checker_agrees;
-      QCheck_alcotest.to_alcotest prop_differential_rmr_totals;
+      Qc.to_alcotest prop_checker_agrees;
+      Qc.to_alcotest prop_differential_rmr_totals;
     ] )

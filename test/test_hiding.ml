@@ -176,5 +176,5 @@ let suite =
       Alcotest.test_case "empty discovery set" `Slow test_empty_discovery;
       Alcotest.test_case "value chaining" `Slow test_value_chaining;
       Alcotest.test_case "undersized group rejected" `Quick test_group_too_small;
-      QCheck_alcotest.to_alcotest prop_random_discovery_sets;
+      Qc.to_alcotest prop_random_discovery_sets;
     ] )

@@ -197,7 +197,7 @@ let suite =
       Alcotest.test_case "L4: complete bipartite" `Quick test_l4_complete_bipartite;
       Alcotest.test_case "L4: intersection case" `Quick test_l4_intersection_case;
       Alcotest.test_case "L4: preconditions" `Quick test_l4_preconditions;
-      QCheck_alcotest.to_alcotest prop_l4_random;
+      Qc.to_alcotest prop_l4_random;
       Alcotest.test_case "L5: complete 2^3" `Quick test_l5_complete_small;
       Alcotest.test_case "L5: complete 3^4" `Quick test_l5_complete_larger;
       Alcotest.test_case "L5: edge-count precondition" `Quick test_l5_rejects_few_edges;
@@ -205,5 +205,5 @@ let suite =
         test_l4_verify_rejects;
       Alcotest.test_case "L5: verifier rejects corrupt outcomes" `Quick
         test_l5_verify_rejects;
-      QCheck_alcotest.to_alcotest prop_l5_random;
+      Qc.to_alcotest prop_l5_random;
     ] )

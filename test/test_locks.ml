@@ -219,9 +219,9 @@ let suite =
       Alcotest.test_case "tree indexing" `Quick test_tree_indexing;
       Alcotest.test_case "tree paths reach root" `Quick test_tree_paths_end_at_root;
       Alcotest.test_case "tree siblings differ" `Quick test_tree_siblings_differ;
-      QCheck_alcotest.to_alcotest prop_tree_path_valid;
+      Qc.to_alcotest prop_tree_path_valid;
       Alcotest.test_case "registry" `Quick test_registry;
       Alcotest.test_case "queue locks are FIFO" `Quick test_queue_locks_fifo;
-      QCheck_alcotest.to_alcotest prop_lock_fuzz;
+      Qc.to_alcotest prop_lock_fuzz;
       Alcotest.test_case "contention stress" `Slow test_stress_contention;
     ] )

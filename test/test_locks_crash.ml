@@ -198,5 +198,5 @@ let suite =
       Alcotest.test_case "double-crash grid" `Slow test_double_crash_points;
       Alcotest.test_case "CS crash re-entry" `Quick test_cs_crash_reentry;
       Alcotest.test_case "crashes at minimal widths" `Quick test_crash_small_widths;
-      QCheck_alcotest.to_alcotest prop_crash_robustness;
+      Qc.to_alcotest prop_crash_robustness;
     ] )

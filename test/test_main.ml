@@ -2,6 +2,13 @@
    [suite : string * unit Alcotest.test_case list]. *)
 
 let () =
+  (* The dist tests re-execute this binary as a worker subprocess: the
+     sentinel diverts it into the protocol serve loop (possibly with a
+     fault mode) instead of running the suites. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "__rme_worker__" then begin
+    Test_dist.worker_main ();
+    exit 0
+  end;
   Alcotest.run "rme"
     [
       Test_bitword.suite;
@@ -23,5 +30,6 @@ let () =
       Test_experiments.suite;
       Test_parallel.suite;
       Test_store.suite;
+      Test_dist.suite;
       Test_cli.suite;
     ]

@@ -216,5 +216,5 @@ let suite =
       Alcotest.test_case "rmr: would_incur" `Quick test_rmr_would_incur;
       Alcotest.test_case "rmr: passage counters" `Quick test_rmr_passage;
       Alcotest.test_case "rmr: crash semantics" `Quick test_rmr_crash_drops_cache;
-      QCheck_alcotest.to_alcotest prop_op_truncated;
+      Qc.to_alcotest prop_op_truncated;
     ] )

@@ -163,6 +163,48 @@ let test_tables_bit_identical () =
   Alcotest.(check string) "-j 4 == -j 1" seq par;
   Alcotest.(check string) "-j 4 reruns agree" par par'
 
+(* ---------------- bit-identical tables at --workers 2 ---------------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let test_tables_workers_identical () =
+  (* The j1 == j4 guarantee extended to process sharding: an in-process
+     coordinator driving two forked workers, all sharing one cache
+     directory, must produce byte-identical tables — and the warm rerun
+     must be answered entirely from the shared store (0 computed). *)
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rme_workers_test_%d" (Unix.getpid ()))
+  in
+  rm_rf d;
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () ->
+      let worker_argv =
+        [| Sys.executable_name; "__rme_worker__"; "engine"; "--cache-dir"; d |]
+      in
+      let base = with_engine ~jobs:1 render_suite in
+      let cold =
+        let e = Engine.create ~jobs:1 ~cache_dir:d ~workers:2 ~worker_argv () in
+        Fun.protect ~finally:(fun () -> Engine.shutdown e) (fun () ->
+            let out = render_suite e in
+            Alcotest.(check bool) "cold pass: workers computed cells" true
+              ((Engine.counters e).Engine.remote > 0);
+            out)
+      in
+      Alcotest.(check string) "--workers 2 == --workers 0" base cold;
+      let e = Engine.create ~jobs:1 ~cache_dir:d ~workers:2 ~worker_argv () in
+      Fun.protect ~finally:(fun () -> Engine.shutdown e) (fun () ->
+          let warm = render_suite e in
+          Alcotest.(check string) "warm --workers 2 byte-identical" base warm;
+          Alcotest.(check int) "warm pass: 0 computed" 0
+            (Engine.counters e).Engine.computed))
+
 let test_adversary_tables_bit_identical () =
   let render engine = render_all (E.e3_adversary_bound ~engine ~ns:[ 32 ] ~ws:[ 8 ] ()) in
   let seq = with_engine ~jobs:1 render in
@@ -227,6 +269,8 @@ let suite =
         test_memo_equals_direct;
       Alcotest.test_case "tables bit-identical at -j 1/-j 4" `Quick
         test_tables_bit_identical;
+      Alcotest.test_case "tables bit-identical at --workers 2 (shared cache)" `Quick
+        test_tables_workers_identical;
       Alcotest.test_case "adversary tables bit-identical" `Quick
         test_adversary_tables_bit_identical;
       Alcotest.test_case "e6 served from e1's cells" `Quick test_e6_shares_e1_cells;

@@ -87,5 +87,5 @@ let suite =
       Alcotest.test_case "tail keys" `Quick test_tail_key;
       Alcotest.test_case "group by value" `Quick test_group_by_value;
       Alcotest.test_case "filter by value" `Quick test_filter_by_value;
-      QCheck_alcotest.to_alcotest prop_complete_count;
+      Qc.to_alcotest prop_complete_count;
     ] )

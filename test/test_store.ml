@@ -199,6 +199,36 @@ let test_store_basic () =
       Alcotest.(check int) "shards loaded" 1 st.Store.shards_loaded;
       Alcotest.(check int) "disk hits counted" 2 st.Store.disk_hits)
 
+let test_store_pending_buffer () =
+  (* Regression: a written-but-unflushed entry must be served by [find]
+     from the in-memory pending buffer — workers consult their store
+     between [add] and the end-of-batch [flush], and losing those
+     lookups would recompute cells the handle already holds. *)
+  with_dir (fun d ->
+      let s = Store.open_ ~dir:d ~fingerprint:fp in
+      Store.add s ~section:"cell" ~key:"pending" ~value:"v";
+      Alcotest.(check bool) "unflushed entry served" true
+        (Store.find s ~section:"cell" "pending" = Some "v");
+      Alcotest.(check int) "unflushed entry counted live" 1
+        (Store.stats s).Store.entries;
+      let seen = ref [] in
+      Store.iter s (fun ~section ~key ~value -> seen := (section, key, value) :: !seen);
+      Alcotest.(check bool) "unflushed entry iterated" true
+        (!seen = [ ("cell", "pending", "v") ]);
+      (* Pending entries are per-handle until flushed: a second handle
+         over the same directory must not see them yet. *)
+      let s2 = Store.open_ ~dir:d ~fingerprint:fp in
+      Alcotest.(check bool) "other handle blind before flush" true
+        (Store.find s2 ~section:"cell" "pending" = None);
+      (* A pending overwrite shadows what this handle loaded from disk. *)
+      Store.flush s;
+      let s3 = Store.open_ ~dir:d ~fingerprint:fp in
+      Store.add s3 ~section:"cell" ~key:"pending" ~value:"v2";
+      Alcotest.(check bool) "pending overwrite wins over disk" true
+        (Store.find s3 ~section:"cell" "pending" = Some "v2");
+      Alcotest.(check int) "overwrite not double-counted" 1
+        (Store.stats s3).Store.entries)
+
 let test_store_fingerprint_mismatch () =
   with_dir (fun d ->
       let s = Store.open_ ~dir:d ~fingerprint:fp in
@@ -430,6 +460,8 @@ let suite =
         test_cell_result_round_trip;
       Alcotest.test_case "codec: adversary keys and results" `Quick test_adv_round_trip;
       Alcotest.test_case "store: add/flush/reopen" `Quick test_store_basic;
+      Alcotest.test_case "store: unflushed entries served from pending buffer"
+        `Quick test_store_pending_buffer;
       Alcotest.test_case "store: fingerprint mismatch invalidates" `Quick
         test_store_fingerprint_mismatch;
       Alcotest.test_case "store: truncated shard quarantined, prefix salvaged" `Quick

@@ -144,5 +144,5 @@ let suite =
       Alcotest.test_case "vec growth" `Quick test_vec_growth;
       Alcotest.test_case "intset encode/decode" `Quick test_intset_encode_decode;
       Alcotest.test_case "intset of_range" `Quick test_intset_of_range;
-      QCheck_alcotest.to_alcotest prop_encode_decode;
+      Qc.to_alcotest prop_encode_decode;
     ] )
