@@ -11,6 +11,10 @@
      dune exec bench/main.exe -- --workers 2 e2   # shard batches over 2 processes
      dune exec bench/main.exe -- --cache-dir .rme-cache e1   # persist results
      dune exec bench/main.exe -- --progress e2               # live ETA on stderr
+     dune exec bench/main.exe -- time --json BENCH.json      # machine-readable probes
+     dune exec bench/main.exe -- compare OLD.json NEW.json --tolerance 3.0
+                                              # CI regression gate (exit 1 on
+                                              # any probe slower than 3x old)
 
    --workers N (or RME_WORKERS) forks N worker subprocesses of this
    binary (the hidden --worker serve mode) and streams cell batches to
@@ -31,8 +35,14 @@
 module E = Rme_experiments.Experiments
 module Engine = Rme_experiments.Engine
 module Table = Rme_util.Table
+module Json = Rme_util.Json
 
 let print_outcome tables = List.iter Table.print tables
+
+(* Accumulated measurements for --json: probe name -> ns/run, and
+   per-experiment wall clock / cell counters, in execution order. *)
+let probe_results : (string * float) list ref = ref []
+let experiment_results : (string * (float * int * int * int)) list ref = ref []
 
 let run_experiment (id, descr, f) =
   Printf.printf "---- %s: %s ----\n%!" (String.uppercase_ascii id) descr;
@@ -42,13 +52,15 @@ let run_experiment (id, descr, f) =
   print_outcome (f ());
   let dt = Unix.gettimeofday () -. t0 in
   let c1 = Engine.counters eng in
+  let computed = c1.Engine.computed - c0.Engine.computed in
+  let cached = c1.Engine.cached - c0.Engine.cached in
+  let disk = c1.Engine.disk - c0.Engine.disk in
+  experiment_results := (id, (dt, computed, cached, disk)) :: !experiment_results;
   Printf.printf
     "(%s completed in %.1fs; j=%d; cells: %d computed (%d remote), %d cached, %d disk)\n\n%!"
-    id dt (Engine.jobs eng)
-    (c1.Engine.computed - c0.Engine.computed)
+    id dt (Engine.jobs eng) computed
     (c1.Engine.remote - c0.Engine.remote)
-    (c1.Engine.cached - c0.Engine.cached)
-    (c1.Engine.disk - c0.Engine.disk)
+    cached disk
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing: one probe per moving part, so the harness doubles
@@ -102,6 +114,12 @@ let bechamel_tests () =
     Test.make ~name:"machine: 8 km completions" (Staged.stage machine_completion);
   ]
 
+let pp_ns x =
+  if x > 1e9 then Printf.sprintf "%.2f s" (x /. 1e9)
+  else if x > 1e6 then Printf.sprintf "%.2f ms" (x /. 1e6)
+  else if x > 1e3 then Printf.sprintf "%.2f us" (x /. 1e3)
+  else Printf.sprintf "%.0f ns" x
+
 let run_timing () =
   let open Bechamel in
   print_endline "---- TIMING (Bechamel, monotonic clock) ----";
@@ -120,16 +138,149 @@ let run_timing () =
           let cell =
             match Analyze.OLS.estimates ols_result with
             | Some (x :: _) ->
-                if x > 1e9 then Printf.sprintf "%.2f s" (x /. 1e9)
-                else if x > 1e6 then Printf.sprintf "%.2f ms" (x /. 1e6)
-                else if x > 1e3 then Printf.sprintf "%.2f us" (x /. 1e3)
-                else Printf.sprintf "%.0f ns" x
+                probe_results := (name, x) :: !probe_results;
+                pp_ns x
             | Some [] | None -> "n/a"
           in
           Table.add_row t [ name; cell ])
         analyzed)
     (bechamel_tests ());
   Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json FILE) and regression comparison
+   (the [compare] subcommand): the perf numbers above, as BENCH_<n>.json
+   files CI can diff with a tolerance. *)
+
+let write_json file =
+  let probes =
+    List.rev_map
+      (fun (name, ns) -> (name, Json.Obj [ ("ns_per_run", Json.Num ns) ]))
+      !probe_results
+  in
+  let experiments =
+    List.rev_map
+      (fun (id, (wall, computed, cached, disk)) ->
+        ( id,
+          Json.Obj
+            [
+              ("wall_s", Json.Num wall);
+              ("cells_computed", Json.num_int computed);
+              ("cells_cached", Json.num_int cached);
+              ("cells_disk", Json.num_int disk);
+            ] ))
+      !experiment_results
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.num_int 1);
+        ("probes", Json.Obj probes);
+        ("experiments", Json.Obj experiments);
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string doc);
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" file
+
+let load_json file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Json.of_string s with
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      exit 1
+
+let probe_ns doc name =
+  Option.bind (Json.member "probes" doc) (fun probes ->
+      Option.bind (Json.member name probes) (fun p ->
+          Option.bind (Json.member "ns_per_run" p) Json.to_float))
+
+(* Compare two --json files: per-probe new/old ratios, failing (exit 1)
+   when any probe slowed down by more than [tolerance]. Probes present
+   on only one side are reported but never fail the run — the suite is
+   allowed to grow and shrink. *)
+let run_compare ~tolerance ~out old_file new_file =
+  let old_doc = load_json old_file and new_doc = load_json new_file in
+  let old_probes =
+    List.map fst (Json.obj_bindings (Option.value ~default:(Json.Obj []) (Json.member "probes" old_doc)))
+  in
+  let new_probes =
+    List.map fst (Json.obj_bindings (Option.value ~default:(Json.Obj []) (Json.member "probes" new_doc)))
+  in
+  let shared = List.filter (fun n -> List.mem n new_probes) old_probes in
+  let t =
+    Table.create ~title:"bench compare"
+      ~columns:[ "probe"; "old"; "new"; "ratio"; "verdict" ]
+  in
+  let regressions = ref [] in
+  let rows =
+    List.filter_map
+      (fun name ->
+        match (probe_ns old_doc name, probe_ns new_doc name) with
+        | Some o, Some n when o > 0.0 ->
+            let ratio = n /. o in
+            let verdict =
+              if ratio > tolerance then begin
+                regressions := name :: !regressions;
+                "REGRESSION"
+              end
+              else if ratio < 1.0 /. tolerance then "improved"
+              else "ok"
+            in
+            Table.add_row t
+              [ name; pp_ns o; pp_ns n; Printf.sprintf "%.2fx" ratio; verdict ];
+            Some
+              ( name,
+                Json.Obj
+                  [
+                    ("old_ns", Json.Num o);
+                    ("new_ns", Json.Num n);
+                    ("ratio", Json.Num ratio);
+                    ("speedup", Json.Num (o /. n));
+                  ] )
+        | _ -> None)
+      shared
+  in
+  Table.print t;
+  List.iter
+    (fun n ->
+      if not (List.mem n new_probes) then
+        Printf.printf "note: probe %S only in %s\n" n old_file)
+    old_probes;
+  List.iter
+    (fun n ->
+      if not (List.mem n old_probes) then
+        Printf.printf "note: probe %S only in %s\n" n new_file)
+    new_probes;
+  (match out with
+  | Some file ->
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.num_int 1);
+            ("old", Json.Str old_file);
+            ("new", Json.Str new_file);
+            ("tolerance", Json.Num tolerance);
+            ("probes", Json.Obj rows);
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (Json.to_string doc);
+      close_out oc;
+      Printf.printf "(wrote %s)\n%!" file
+  | None -> ());
+  match !regressions with
+  | [] -> Printf.printf "compare: ok (%d probes within %.1fx)\n" (List.length shared) tolerance
+  | l ->
+      Printf.printf "compare: %d regression(s) beyond %.1fx: %s\n" (List.length l)
+        tolerance
+        (String.concat ", " (List.rev l));
+      exit 1
 
 (* Accepts [-j N], [--jobs N], [-jN], [--workers N], [--worker],
    [--cache-dir DIR], [--no-cache] and [--progress]/[-v]; returns the
@@ -141,6 +292,9 @@ type opts = {
   cache_dir : string option;
   no_cache : bool;
   progress : bool;
+  json : string option;  (* write probe/experiment measurements here *)
+  tolerance : float;  (* compare: max allowed new/old slowdown *)
+  out : string option;  (* compare: write the comparison JSON here *)
 }
 
 let parse_opts args =
@@ -170,6 +324,23 @@ let parse_opts args =
         exit 1
     | "--no-cache" :: rest -> go { o with no_cache = true } acc rest
     | ("--progress" | "-v") :: rest -> go { o with progress = true } acc rest
+    | "--json" :: f :: rest -> go { o with json = Some f } acc rest
+    | "--json" :: [] ->
+        prerr_endline "missing value after --json";
+        exit 1
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some tol when tol >= 1.0 -> go { o with tolerance = tol } acc rest
+        | Some _ | None ->
+            Printf.eprintf "invalid --tolerance value %S (need >= 1.0)\n" v;
+            exit 1)
+    | "--tolerance" :: [] ->
+        prerr_endline "missing value after --tolerance";
+        exit 1
+    | "--out" :: f :: rest -> go { o with out = Some f } acc rest
+    | "--out" :: [] ->
+        prerr_endline "missing value after --out";
+        exit 1
     | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
         go { o with jobs = jobs_value (String.sub a 2 (String.length a - 2)) } acc rest
     | a :: rest -> go o (a :: acc) rest
@@ -182,6 +353,9 @@ let parse_opts args =
       cache_dir = None;
       no_cache = false;
       progress = false;
+      json = None;
+      tolerance = 1.5;
+      out = None;
     }
     [] args
 
@@ -205,6 +379,14 @@ let () =
     (Engine.resolve_workers ?cli:o.workers ());
   Engine.set_progress o.progress;
   (match args with
+  | "compare" :: rest -> (
+      match rest with
+      | [ old_file; new_file ] ->
+          run_compare ~tolerance:o.tolerance ~out:o.out old_file new_file
+      | _ ->
+          prerr_endline
+            "usage: bench compare OLD.json NEW.json [--tolerance X] [--out FILE]";
+          exit 1)
   | [] ->
       List.iter run_experiment E.all;
       run_timing ()
@@ -215,9 +397,11 @@ let () =
           match List.find_opt (fun (i, _, _) -> i = id) E.all with
           | Some e -> run_experiment e
           | None ->
-              Printf.eprintf "unknown experiment %S (available: %s, time)\n" id
+              Printf.eprintf
+                "unknown experiment %S (available: %s, time, compare)\n" id
                 (String.concat ", " (List.map (fun (i, _, _) -> i) E.all));
               exit 1)
         ids);
+  (match o.json with Some file -> write_json file | None -> ());
   (* Stop worker subprocesses politely (EOF + reap) before exit. *)
   Engine.set_workers 0

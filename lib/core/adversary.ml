@@ -92,36 +92,47 @@ type hide_plan = {
   y_next : int;
 }
 
-let eval_subset ~width ~y0 ops pids =
-  List.fold_left (fun y pid -> Op.next_value ~width (List.assoc pid ops) y) y0 pids
+(* The search pool for hiding plans is capped at this many members;
+   subsets are enumerated over pool {e indices}, so the index subsets for
+   every pool size can be shared across all calls (and across domains:
+   the table below is computed once at module initialisation and
+   immutable afterwards). *)
+let max_pool = 16
 
-let subsets_up_to_3 pids =
-  let arr = Array.of_list pids in
-  let n = Array.length arr in
-  let acc = ref [] in
-  for i = 0 to n - 1 do
-    acc := [ arr.(i) ] :: !acc;
-    for j = i + 1 to n - 1 do
-      acc := [ arr.(i); arr.(j) ] :: !acc;
-      for l = j + 1 to n - 1 do
-        acc := [ arr.(i); arr.(j); arr.(l) ] :: !acc
-      done
-    done
-  done;
-  List.rev !acc
+let index_subsets : int list list array =
+  Array.init (max_pool + 1) (fun n ->
+      let acc = ref [] in
+      for i = 0 to n - 1 do
+        acc := [ i ] :: !acc;
+        for j = i + 1 to n - 1 do
+          acc := [ i; j ] :: !acc;
+          for l = j + 1 to n - 1 do
+            acc := [ i; j; l ] :: !acc
+          done
+        done
+      done;
+      List.rev !acc)
 
 let find_hiding ~width ~y0 ~members ~forbidden =
   (* [members]: (pid, poised op) ascending by pid, all non-read. *)
   let ops = members in
   let pids = List.map fst members in
-  let search_pool = List.filteri (fun i _ -> i < 16) pids in
+  (* Indexing the members once replaces the per-element [List.assoc] of
+     subset evaluation with O(1) array reads. *)
+  let arr = Array.of_list members in
+  let pool = min max_pool (Array.length arr) in
   let by_value = Hashtbl.create 64 in
   List.iter
-    (fun s ->
-      let y = eval_subset ~width ~y0 ops s in
+    (fun idxs ->
+      let y =
+        List.fold_left
+          (fun y i -> Op.next_value ~width (snd arr.(i)) y)
+          y0 idxs
+      in
+      let s = List.map (fun i -> fst arr.(i)) idxs in
       let prev = Option.value ~default:[] (Hashtbl.find_opt by_value y) in
       Hashtbl.replace by_value y (s :: prev))
-    (subsets_up_to_3 search_pool);
+    index_subsets.(pool);
   let candidate = ref None in
   Hashtbl.iter
     (fun y subsets ->
@@ -201,10 +212,29 @@ let run config factory =
   let active = ref (Intset.of_range 0 (config.n - 1)) in
   let escaped = ref Intset.empty in
   let total_checked = ref 0 in
+  (* One scratch play serves every attempt. Right after a commit the
+     scratch {e is} the committed state (the commit's planning executed
+     on it), so the next attempt resumes it as-is — replay becomes free
+     at every round boundary. Any change to [removed] since that commit
+     — a mid-plan [Restart], or processes dropped at the commit itself —
+     invalidates the resume and forces a full filtered replay from step
+     0 on the reset machine: that replay is the executable witness that
+     the removals affected nobody kept, so it is performed exactly when
+     it verifies something new. *)
+  let scratch = Schedule.fresh_play ctx in
+  let committed_removed = ref Intset.empty in
+  let clean = ref true in
   let replay () =
-    Schedule.replay ctx
-      ~keep:(fun p -> not (Intset.mem p !removed))
-      (Vec.to_array committed)
+    if not (!clean && Intset.equal !removed !committed_removed) then begin
+      Schedule.replay_into scratch ctx
+        ~keep:(fun p -> not (Intset.mem p !removed))
+        committed;
+      total_checked := !total_checked + scratch.Schedule.checked
+    end;
+    (* The attempt about to run will mutate the scratch past the
+       committed prefix. *)
+    clean := false;
+    scratch
   in
   (* -------------------------------------------------------------- *)
   (* Plan (and tentatively execute) one round on [play]. Raises
@@ -506,7 +536,7 @@ let run config factory =
   in
   (* -------------------------------------------------------------- *)
   let rounds = ref [] in
-  let current_play = ref (replay ()) in
+  let last_commit_min_rmrs = ref max_int in
   let round_index = ref 0 in
   let continue = ref true in
   while
@@ -540,10 +570,18 @@ let run config factory =
               (Intset.diff !active survivor_set)
               new_finished
           in
+          (* The scratch now holds exactly the committed state: mark it
+             resumable for the keep-set this attempt replayed under, and
+             record the survivor statistics it will be asked for later
+             (reading them now spares any end-of-run reconstruction). *)
+          clean := true;
+          committed_removed := !removed;
+          last_commit_min_rmrs :=
+            Intset.fold
+              (fun p acc -> min acc (Machine.total_rmrs play.Schedule.m ~pid:p))
+              survivor_set max_int;
           removed := Intset.union !removed dropped;
           active := survivor_set;
-          total_checked := !total_checked + play.Schedule.checked;
-          current_play := play;
           committed_this := true;
           metas :=
             {
@@ -584,12 +622,19 @@ let run config factory =
           end
     done
   done;
-  let play = !current_play in
-  let survivor_min_rmrs =
-    Intset.fold
-      (fun p acc -> min acc (Machine.total_rmrs play.Schedule.m ~pid:p))
-      !active max_int
-  in
+  (* Final witness: one full filtered replay of the complete committed
+     schedule under the final keep-set, asserting every kept record.
+     (Survivor statistics were stashed at the last commit instead of
+     being read back here: this witness excludes the directives of
+     processes dropped at that commit, whose cache effects the committed
+     execution included, so its RMR totals are not the committed ones.) *)
+  if Vec.length committed > 0 then begin
+    Schedule.replay_into scratch ctx
+      ~keep:(fun p -> not (Intset.mem p !removed))
+      committed;
+    total_checked := !total_checked + scratch.Schedule.checked
+  end;
+  let survivor_min_rmrs = !last_commit_min_rmrs in
   {
     rounds = List.rev !rounds;
     rounds_completed = !round_index;

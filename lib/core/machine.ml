@@ -116,12 +116,24 @@ let peek t ~pid =
   | P_exit pr -> Prog.peek pr
   | P_recovery pr -> Prog.peek pr
 
+(* Like [peek |> would_incur] but without materialising the option —
+   this runs once per simulated step in both drivers. *)
 let poised_rmr t ~pid =
-  match peek t ~pid with
-  | None -> false
-  | Some (loc, op) ->
+  let p = t.procs.(pid) in
+  settle t p;
+  match p.state with
+  | P_done -> false
+  | P_entry (Prog.Step (loc, op, _))
+  | P_cs (Prog.Step (loc, op, _))
+  | P_exit (Prog.Step (loc, op, _))
+  | P_recovery (Prog.Step (loc, op, _)) ->
       Rmr.would_incur t.rmr ~pid ~loc ~owner:(Memory.owner t.memory loc)
         ~is_read:(Op.is_read op)
+  | P_entry (Prog.Return _)
+  | P_cs (Prog.Return _)
+  | P_exit (Prog.Return _)
+  | P_recovery (Prog.Return _) ->
+      assert false (* settled above *)
 
 let perform t ~pid loc op =
   let old = Memory.apply t.memory ~pid loc op in
@@ -199,3 +211,43 @@ let crashes t ~pid = t.procs.(pid).crash_count
 let cs_entries t ~pid = t.procs.(pid).cs_entries
 
 let total_rmrs t ~pid = Rmr.total t.rmr ~pid
+
+let reset t =
+  Memory.reset_values t.memory;
+  Rmr.reset t.rmr;
+  Array.iter
+    (fun p ->
+      p.state <- P_entry (t.lock.Lock_intf.entry ~pid:p.pid);
+      p.crash_count <- 0;
+      p.cs_entries <- 0)
+    t.procs
+
+(* Program states are immutable values ([Prog.t] is a pure free monad and
+   lock instances close only over location handles), so a snapshot can
+   share them; all mutable run state lives in [memory], [rmr] and the
+   per-process counters captured here. *)
+type snapshot = {
+  s_memory : Memory.checkpoint;
+  s_rmr : Rmr.snapshot;
+  s_procs : (prog_state * int * int) array; (* state, crashes, cs entries *)
+}
+
+let snapshot t =
+  {
+    s_memory = Memory.checkpoint t.memory;
+    s_rmr = Rmr.snapshot t.rmr;
+    s_procs = Array.map (fun p -> (p.state, p.crash_count, p.cs_entries)) t.procs;
+  }
+
+let restore t s =
+  if Array.length s.s_procs <> t.n then
+    invalid_arg "Machine.restore: snapshot from a different machine";
+  Memory.restore t.memory s.s_memory;
+  Rmr.restore t.rmr s.s_rmr;
+  Array.iteri
+    (fun i (state, crash_count, cs_entries) ->
+      let p = t.procs.(i) in
+      p.state <- state;
+      p.crash_count <- crash_count;
+      p.cs_entries <- cs_entries)
+    s.s_procs

@@ -70,3 +70,22 @@ val cs_entries : t -> pid:int -> int
     (invariant (I7) requires 0 for every active process). *)
 
 val total_rmrs : t -> pid:int -> int
+
+val reset : t -> unit
+(** Return the machine to its just-created state in place — memory back
+    to initial values, RMR accounting zeroed, every process poised at
+    the top of its entry section — without re-running the lock
+    constructor. The workhorse of replay: re-executing a schedule needs
+    a fresh machine per attempt, and construction (allocation plus name
+    formatting for every cell) would otherwise dominate. *)
+
+type snapshot
+(** Complete machine state at a point in time. Program states are
+    immutable and shared, not copied; memory values, RMR counters and
+    CC cache state are deep-copied. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Restore a snapshot taken from this machine (or one of identical
+    construction). Raises [Invalid_argument] on a mismatched one. *)

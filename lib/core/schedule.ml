@@ -31,7 +31,7 @@ let diverged fmt = Printf.ksprintf (fun m -> raise (Diverged m)) fmt
 
 type play = {
   m : Machine.t;
-  visible : (int, Intset.t) Hashtbl.t;
+  mutable visible : (int, Intset.t) Hashtbl.t;
   mutable checked : int;
 }
 
@@ -138,3 +138,32 @@ let replay ctx ?(keep = fun _ -> true) ?on_event directives =
       if keep (pid_of_directive (fst dr)) then exec_replay play ctx ?on_event dr)
     directives;
   play
+
+let reset_play play =
+  Machine.reset play.m;
+  Hashtbl.reset play.visible;
+  play.checked <- 0
+
+let replay_into play ctx ?(keep = fun _ -> true) ?on_event directives =
+  reset_play play;
+  Rme_util.Vec.iter
+    (fun dr ->
+      if keep (pid_of_directive (fst dr)) then exec_replay play ctx ?on_event dr)
+    directives
+
+type play_snapshot = {
+  ps_machine : Machine.snapshot;
+  ps_visible : (int, Intset.t) Hashtbl.t;
+}
+
+let snapshot_play play =
+  {
+    ps_machine = Machine.snapshot play.m;
+    ps_visible = Hashtbl.copy play.visible;
+  }
+
+let restore_play play s =
+  Machine.restore play.m s.ps_machine;
+  (* The snapshot's table stays pristine: hand the play a copy. *)
+  play.visible <- Hashtbl.copy s.ps_visible;
+  play.checked <- 0

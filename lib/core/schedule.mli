@@ -46,7 +46,7 @@ exception Diverged of string
     still learn about. *)
 type play = {
   m : Machine.t;
-  visible : (int, Rme_util.Intset.t) Hashtbl.t;
+  mutable visible : (int, Rme_util.Intset.t) Hashtbl.t;
   mutable checked : int;  (** record assertions verified *)
 }
 
@@ -84,3 +84,27 @@ val replay :
   play
 (** Replay a whole schedule from a fresh machine, skipping directives of
     processes for which [keep] is false (default: keep everyone). *)
+
+val reset_play : play -> unit
+(** Return the play to its just-created state in place ([Machine.reset]
+    plus an empty visibility map), without building a new machine. *)
+
+val replay_into :
+  play ->
+  context ->
+  ?keep:(int -> bool) ->
+  ?on_event:(pid:int -> Machine.step_info -> unit) ->
+  (directive * record) Rme_util.Vec.t ->
+  unit
+(** [replay] into an existing play: resets it, then re-executes the kept
+    directives, asserting every record ([play.checked] counts them).
+    Reads the committed schedule directly, with no array copy. *)
+
+type play_snapshot
+(** A play at a point in time: machine snapshot plus visibility map. *)
+
+val snapshot_play : play -> play_snapshot
+
+val restore_play : play -> play_snapshot -> unit
+(** Restore the machine and visibility map. [checked] is reset to 0 —
+    a restore verifies nothing; only executed replays count. *)

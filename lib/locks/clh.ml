@@ -23,7 +23,7 @@ let make memory ~n =
            p is p's; the dummy and rotated cells migrate, so ownership is
            only the initial assignment (CLH is a CC-model lock). *)
         let owner = if i >= 1 && i <= n then Some (i - 1) else None in
-        Memory.alloc ?owner memory ~name:(Printf.sprintf "clh.cell[%d]" i) ~init:0)
+        Memory.alloc_named ?owner memory ~name:(fun () -> Printf.sprintf "clh.cell[%d]" i) ~init:0)
   in
   let t =
     {

@@ -31,23 +31,23 @@ let make memory ~n =
       tail = Memory.alloc memory ~name:"emcs.tail" ~init:nil;
       locked =
         Array.init n (fun p ->
-            Memory.alloc memory ~owner:p
-              ~name:(Printf.sprintf "emcs.locked[%d]" p)
+            Memory.alloc_named memory ~owner:p
+              ~name:(fun () -> Printf.sprintf "emcs.locked[%d]" p)
               ~init:0);
       next =
         Array.init n (fun p ->
-            Memory.alloc memory ~owner:p
-              ~name:(Printf.sprintf "emcs.next[%d]" p)
+            Memory.alloc_named memory ~owner:p
+              ~name:(fun () -> Printf.sprintf "emcs.next[%d]" p)
               ~init:nil);
       status =
         Array.init n (fun p ->
-            Memory.alloc memory ~owner:p
-              ~name:(Printf.sprintf "emcs.status[%d]" p)
+            Memory.alloc_named memory ~owner:p
+              ~name:(fun () -> Printf.sprintf "emcs.status[%d]" p)
               ~init:st_idle);
       detached =
         Array.init n (fun p ->
-            Memory.alloc memory ~owner:p
-              ~name:(Printf.sprintf "emcs.detached[%d]" p)
+            Memory.alloc_named memory ~owner:p
+              ~name:(fun () -> Printf.sprintf "emcs.detached[%d]" p)
               ~init:0);
     }
   in

@@ -77,24 +77,24 @@ let make_with_arity ~arity memory ~n =
         Array.init count (fun j ->
             {
               mask =
-                Memory.alloc memory ~name:(Printf.sprintf "km.mask[%d][%d]" k j)
+                Memory.alloc_named memory ~name:(fun () -> Printf.sprintf "km.mask[%d][%d]" k j)
                   ~init:0;
               owner =
-                Memory.alloc memory ~name:(Printf.sprintf "km.owner[%d][%d]" k j)
+                Memory.alloc_named memory ~name:(fun () -> Printf.sprintf "km.owner[%d][%d]" k j)
                   ~init:0;
               who =
                 Array.init b (fun s ->
                     Array.init pid_chunks (fun c ->
-                        Memory.alloc memory
-                          ~name:(Printf.sprintf "km.who[%d][%d][%d].%d" k j s c)
+                        Memory.alloc_named memory
+                          ~name:(fun () -> Printf.sprintf "km.who[%d][%d][%d].%d" k j s c)
                           ~init:0));
             }))
   in
   let per_proc name init =
     Array.init n (fun p ->
         Array.init levels (fun k ->
-            Memory.alloc memory ~owner:p
-              ~name:(Printf.sprintf "km.%s[%d][%d]" name p k)
+            Memory.alloc_named memory ~owner:p
+              ~name:(fun () -> Printf.sprintf "km.%s[%d][%d]" name p k)
               ~init))
   in
   let t =
@@ -107,8 +107,8 @@ let make_with_arity ~arity memory ~n =
       nodes;
       pstatus =
         Array.init n (fun p ->
-            Memory.alloc memory ~owner:p
-              ~name:(Printf.sprintf "km.pstatus[%d]" p)
+            Memory.alloc_named memory ~owner:p
+              ~name:(fun () -> Printf.sprintf "km.pstatus[%d]" p)
               ~init:st_idle);
       succ = per_proc "succ" succ_unset;
       xdone = per_proc "xdone" 0;

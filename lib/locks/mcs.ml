@@ -19,11 +19,11 @@ let make memory ~n =
       tail = Memory.alloc memory ~name:"mcs.tail" ~init:nil;
       locked =
         Array.init n (fun p ->
-            Memory.alloc memory ~owner:p ~name:(Printf.sprintf "mcs.locked[%d]" p)
+            Memory.alloc_named memory ~owner:p ~name:(fun () -> Printf.sprintf "mcs.locked[%d]" p)
               ~init:0);
       next =
         Array.init n (fun p ->
-            Memory.alloc memory ~owner:p ~name:(Printf.sprintf "mcs.next[%d]" p)
+            Memory.alloc_named memory ~owner:p ~name:(fun () -> Printf.sprintf "mcs.next[%d]" p)
               ~init:nil);
     }
   in

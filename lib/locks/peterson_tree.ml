@@ -15,12 +15,12 @@ let make memory ~n =
       flag =
         Array.init (nodes + 1) (fun node ->
             Array.init 2 (fun side ->
-                Memory.alloc memory
-                  ~name:(Printf.sprintf "peterson.flag[%d][%d]" node side)
+                Memory.alloc_named memory
+                  ~name:(fun () -> Printf.sprintf "peterson.flag[%d][%d]" node side)
                   ~init:0));
       victim =
         Array.init (nodes + 1) (fun node ->
-            Memory.alloc memory ~name:(Printf.sprintf "peterson.victim[%d]" node)
+            Memory.alloc_named memory ~name:(fun () -> Printf.sprintf "peterson.victim[%d]" node)
               ~init:0);
     }
   in

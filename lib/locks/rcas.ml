@@ -19,7 +19,7 @@ let make memory ~n =
       lock_word = Memory.alloc memory ~name:"rcas.lock" ~init:0;
       status =
         Array.init n (fun p ->
-            Memory.alloc memory ~owner:p ~name:(Printf.sprintf "rcas.status[%d]" p)
+            Memory.alloc_named memory ~owner:p ~name:(fun () -> Printf.sprintf "rcas.status[%d]" p)
               ~init:st_idle);
     }
   in

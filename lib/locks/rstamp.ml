@@ -27,8 +27,8 @@ let make memory ~n =
       lock_word = Memory.alloc memory ~name:"rstamp.lock" ~init:0;
       status =
         Array.init n (fun p ->
-            Memory.alloc memory ~owner:p
-              ~name:(Printf.sprintf "rstamp.status[%d]" p)
+            Memory.alloc_named memory ~owner:p
+              ~name:(fun () -> Printf.sprintf "rstamp.status[%d]" p)
               ~init:st_idle);
     }
   in

@@ -18,10 +18,10 @@ let make memory ~n =
     {
       node =
         Array.init (num + 1) (fun i ->
-            Memory.alloc memory ~name:(Printf.sprintf "rtour.node[%d]" i) ~init:0);
+            Memory.alloc_named memory ~name:(fun () -> Printf.sprintf "rtour.node[%d]" i) ~init:0);
       status =
         Array.init n (fun p ->
-            Memory.alloc memory ~owner:p ~name:(Printf.sprintf "rtour.status[%d]" p)
+            Memory.alloc_named memory ~owner:p ~name:(fun () -> Printf.sprintf "rtour.status[%d]" p)
               ~init:st_idle);
     }
   in

@@ -1,58 +1,196 @@
 module Intset = Rme_util.Intset
+module Bitset = Rme_util.Bitset
+
+(* Generation/epoch stamping. A copy held by [pid] of [loc] is
+   represented by the stamp [(epochs.(pid) lsl gen_bits) lor gens.(loc)]
+   recorded at install time; it is valid iff it still equals that
+   expression. Bumping [gens.(loc)] (any non-read) or [epochs.(pid)]
+   (a crash) therefore invalidates in O(1) without touching stamps.
+
+   Stamps live in fixed 256-slot pages allocated on first install and
+   initialised to -1 (never a valid stamp, since counters are
+   non-negative). [present.(pid)] tracks pages that may hold live
+   stamps: installs add to it, and only [clear]/[copy_into] — which
+   wipe a page back to all -1 — remove from it, so every valid stamp
+   is inside a present page and [valid_set] scans nothing else. *)
+
+let page_bits = 8
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+let gen_bits = 31
+let gen_mask = (1 lsl gen_bits) - 1
+let empty_page : int array = [||]
 
 type t = {
   n : int;
-  by_pid : (int, unit) Hashtbl.t array; (* pid -> set of cached locs *)
-  by_loc : (int, Intset.t) Hashtbl.t; (* loc -> pids holding copies *)
+  epochs : int array; (* pid -> crash epoch *)
+  mutable gens : int array; (* loc -> write generation *)
+  mutable num_locs : int; (* locations ever accessed *)
+  rows : int array array array; (* pid -> page index -> stamp page *)
+  present : Bitset.t array; (* pid -> pages possibly holding live stamps *)
 }
 
 let create ~n =
-  { n; by_pid = Array.init n (fun _ -> Hashtbl.create 16); by_loc = Hashtbl.create 64 }
+  {
+    n;
+    epochs = Array.make n 0;
+    gens = Array.make 64 0;
+    num_locs = 0;
+    rows = Array.make n ([||] : int array array);
+    present = Array.init n (fun _ -> Bitset.create ~capacity:32);
+  }
 
 let n t = t.n
 
-let has_copy t ~pid ~loc = Hashtbl.mem t.by_pid.(pid) loc
+let ensure_loc t loc =
+  if loc >= Array.length t.gens then begin
+    let cap = max (loc + 1) (2 * Array.length t.gens) in
+    let gens = Array.make cap 0 in
+    Array.blit t.gens 0 gens 0 (Array.length t.gens);
+    t.gens <- gens
+  end;
+  if loc >= t.num_locs then t.num_locs <- loc + 1
 
-let holders t loc = Option.value ~default:Intset.empty (Hashtbl.find_opt t.by_loc loc)
+let has_copy t ~pid ~loc =
+  loc < Array.length t.gens
+  &&
+  let row = t.rows.(pid) in
+  let pi = loc lsr page_bits in
+  pi < Array.length row
+  &&
+  let page = Array.unsafe_get row pi in
+  page != empty_page
+  && Array.unsafe_get page (loc land page_mask)
+     = (t.epochs.(pid) lsl gen_bits) lor t.gens.(loc)
 
-let install t ~pid ~loc =
-  if not (has_copy t ~pid ~loc) then begin
-    Hashtbl.replace t.by_pid.(pid) loc ();
-    Hashtbl.replace t.by_loc loc (Intset.add pid (holders t loc))
-  end
-
-let invalidate_loc t ~loc =
-  Intset.iter (fun pid -> Hashtbl.remove t.by_pid.(pid) loc) (holders t loc);
-  Hashtbl.remove t.by_loc loc
+(* Install slow path: grow the page row and/or materialise the page.
+   Pages wiped by [clear] stay allocated (all -1) and are reused here. *)
+let install t ~pid ~pi ~off ~stamp =
+  let row = t.rows.(pid) in
+  let row =
+    if pi < Array.length row then row
+    else begin
+      let cap = max (pi + 1) (2 * max 4 (Array.length row)) in
+      let row' = Array.make cap empty_page in
+      Array.blit row 0 row' 0 (Array.length row);
+      t.rows.(pid) <- row';
+      row'
+    end
+  in
+  let page = row.(pi) in
+  let page =
+    if page != empty_page then page
+    else begin
+      let p = Array.make page_size (-1) in
+      row.(pi) <- p;
+      p
+    end
+  in
+  page.(off) <- stamp;
+  Bitset.add t.present.(pid) pi
 
 let access t ~pid ~loc ~is_read =
+  ensure_loc t loc;
   if is_read then begin
-    let rmr = not (has_copy t ~pid ~loc) in
-    install t ~pid ~loc;
-    rmr
+    let stamp = (t.epochs.(pid) lsl gen_bits) lor t.gens.(loc) in
+    let pi = loc lsr page_bits in
+    let off = loc land page_mask in
+    let row = t.rows.(pid) in
+    if
+      pi < Array.length row
+      &&
+      let page = Array.unsafe_get row pi in
+      page != empty_page && Array.unsafe_get page off = stamp
+    then false
+    else begin
+      install t ~pid ~pi ~off ~stamp;
+      true
+    end
   end
   else begin
-    invalidate_loc t ~loc;
+    (* Invalidate every copy of [loc] at once. *)
+    t.gens.(loc) <- (t.gens.(loc) + 1) land gen_mask;
     true
   end
 
-let drop_process t ~pid =
-  Hashtbl.iter
-    (fun loc () ->
-      let remaining = Intset.remove pid (holders t loc) in
-      if Intset.is_empty remaining then Hashtbl.remove t.by_loc loc
-      else Hashtbl.replace t.by_loc loc remaining)
-    t.by_pid.(pid);
-  Hashtbl.reset t.by_pid.(pid)
+let drop_process t ~pid = t.epochs.(pid) <- t.epochs.(pid) + 1
 
 let valid_set t ~pid =
-  Hashtbl.fold (fun loc () acc -> Intset.add loc acc) t.by_pid.(pid) Intset.empty
+  let acc = ref Intset.empty in
+  let row = t.rows.(pid) in
+  let epoch_part = t.epochs.(pid) lsl gen_bits in
+  Bitset.iter
+    (fun pi ->
+      let page = row.(pi) in
+      let base = pi lsl page_bits in
+      let hi = min page_size (t.num_locs - base) in
+      for off = 0 to hi - 1 do
+        if Array.unsafe_get page off = epoch_part lor t.gens.(base + off) then
+          acc := Intset.add (base + off) !acc
+      done)
+    t.present.(pid);
+  !acc
+
+let clear t =
+  Array.fill t.epochs 0 t.n 0;
+  Array.fill t.gens 0 (Array.length t.gens) 0;
+  t.num_locs <- 0;
+  for pid = 0 to t.n - 1 do
+    let row = t.rows.(pid) in
+    Bitset.iter (fun pi -> Array.fill row.(pi) 0 page_size (-1)) t.present.(pid);
+    Bitset.clear t.present.(pid)
+  done
+
+let copy_into ~src ~dst =
+  if src.n <> dst.n then invalid_arg "Cache.copy_into: process count mismatch";
+  Array.blit src.epochs 0 dst.epochs 0 src.n;
+  let sg = Array.length src.gens and dg = Array.length dst.gens in
+  if dg < sg then dst.gens <- Array.copy src.gens
+  else begin
+    Array.blit src.gens 0 dst.gens 0 sg;
+    Array.fill dst.gens sg (dg - sg) 0
+  end;
+  dst.num_locs <- src.num_locs;
+  for pid = 0 to src.n - 1 do
+    let sp = src.present.(pid) and dp = dst.present.(pid) in
+    (* Wipe pages live only in [dst]; pages live in both are fully
+       overwritten by the blit below. *)
+    Bitset.iter
+      (fun pi ->
+        if not (Bitset.mem sp pi) then
+          Array.fill dst.rows.(pid).(pi) 0 page_size (-1))
+      dp;
+    Bitset.iter
+      (fun pi ->
+        let srow = src.rows.(pid) in
+        let drow = dst.rows.(pid) in
+        let drow =
+          if pi < Array.length drow then drow
+          else begin
+            let cap = max (pi + 1) (2 * max 4 (Array.length drow)) in
+            let row' = Array.make cap empty_page in
+            Array.blit drow 0 row' 0 (Array.length drow);
+            dst.rows.(pid) <- row';
+            row'
+          end
+        in
+        let page = drow.(pi) in
+        let page =
+          if page != empty_page then page
+          else begin
+            let p = Array.make page_size (-1) in
+            drow.(pi) <- p;
+            p
+          end
+        in
+        Array.blit srow.(pi) 0 page 0 page_size)
+      sp;
+    Bitset.copy_into ~src:sp ~dst:dp
+  done
 
 let copy t =
   let fresh = create ~n:t.n in
-  Array.iteri
-    (fun pid locs -> Hashtbl.iter (fun loc () -> install fresh ~pid ~loc) locs)
-    t.by_pid;
+  copy_into ~src:t ~dst:fresh;
   fresh
 
 let equal_for t t' ~pid = Intset.equal (valid_set t ~pid) (valid_set t' ~pid)

@@ -8,7 +8,17 @@
 
     Crashes do {e not} preserve caches: a crash step drops the crashed
     process's entire cache (its local state, of which the cache is part,
-    is reset). *)
+    is reset).
+
+    Representation: generation/epoch stamping over flat arrays, so the
+    three hot operations are O(1) and allocation-free in the steady
+    state. Each location carries a generation counter bumped by every
+    non-read (invalidating all copies at once); each pid carries an
+    epoch counter bumped by every crash (dropping its whole cache at
+    once). A copy is valid iff its recorded [(epoch, generation)] stamp
+    matches the current counters. Stamps live in lazily materialised
+    fixed-size pages per pid, with a {!Rme_util.Bitset} tracking which
+    pages hold live stamps so [valid_set] touches only those. *)
 
 type t
 
@@ -25,7 +35,7 @@ val access : t -> pid:int -> loc:int -> is_read:bool -> bool
     invalidates all copies of [loc]. *)
 
 val drop_process : t -> pid:int -> unit
-(** Invalidate every copy held by [pid] (crash semantics). *)
+(** Invalidate every copy held by [pid] (crash semantics). O(1). *)
 
 val valid_set : t -> pid:int -> Rme_util.Intset.t
 (** The set of locations [pid] currently holds valid copies of — the
@@ -33,6 +43,13 @@ val valid_set : t -> pid:int -> Rme_util.Intset.t
 
 val copy : t -> t
 (** Deep copy, for replay comparison. *)
+
+val copy_into : src:t -> dst:t -> unit
+(** Make [dst] equivalent to [src] in place, reusing [dst]'s pages.
+    The two must have the same [n]. *)
+
+val clear : t -> unit
+(** Reset to the all-empty state in place, keeping allocated pages. *)
 
 val equal_for : t -> t -> pid:int -> bool
 (** Whether the two states agree on [pid]'s valid set. *)

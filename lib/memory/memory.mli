@@ -32,8 +32,15 @@ val num_locs : t -> int
 val alloc : ?owner:int -> ?name:string -> t -> init:int -> loc
 (** Allocate one location. [init] is truncated to the word width. *)
 
+val alloc_named : ?owner:int -> t -> name:(unit -> string) -> init:int -> loc
+(** [alloc] with a lazily formatted name: the thunk runs only when
+    [loc_name] is queried (pretty-printing), never on the allocation or
+    access paths. Lock constructors that mint many cells should use
+    this rather than paying a [Printf.sprintf] per cell up front. *)
+
 val alloc_array : ?owner:int -> ?name:string -> t -> init:int -> len:int -> loc array
-(** Allocate [len] locations sharing a name prefix. *)
+(** Allocate [len] locations sharing a name prefix (names formatted
+    lazily, as with [alloc_named]). *)
 
 val value : t -> loc -> int
 (** Current stored value (no RMR bookkeeping — simulator internal). *)
@@ -65,3 +72,14 @@ val full_snapshot : t -> (int * int option) array
 val reset_values : t -> unit
 (** Restore every location to its initial value and clear accessor
     metadata. Used by replay-based schedule reconstruction. *)
+
+type checkpoint
+(** Values and accessor metadata of every location at a point in time,
+    in flat arrays. *)
+
+val checkpoint : t -> checkpoint
+
+val restore : t -> checkpoint -> unit
+(** Restore a checkpoint taken from this memory (same location count —
+    locations are only allocated at construction time). Raises
+    [Invalid_argument] on a mismatched checkpoint. *)

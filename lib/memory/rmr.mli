@@ -46,3 +46,16 @@ val start_passage : t -> pid:int -> unit
 (** Reset the per-passage counter of [pid]. *)
 
 val grand_total : t -> int
+
+val reset : t -> unit
+(** Zero all counters and empty the cache state in place — back to the
+    state of a fresh [create], without reallocating. *)
+
+type snapshot
+(** Full accounting state (counters plus CC cache) at a point in time. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Restore a snapshot taken from an accountant of the same model and
+    process count; raises [Invalid_argument] otherwise. *)

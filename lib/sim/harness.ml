@@ -88,13 +88,16 @@ type proc = {
   mutable p_cs_this_sp : bool; (* CS entered during the current super-passage *)
   mutable p_requested_at : int; (* global CS-entry count when this super-passage began *)
   mutable p_max_bypass : int;
-  mutable p_spinning_on : (Memory.loc * int) option;
-      (* Stutter detection: the process is spinning — it read this value
-         from this location and is poised to read it again. Re-executing
-         the read before the value changes provably reproduces the same
-         state (continuations depend only on the value read), so the
-         scheduler skips it; this both matches the per-invalidation RMR
-         counting convention and keeps large simulations near-linear. *)
+  mutable p_spin_loc : int;
+      (* Stutter detection: when >= 0, the process is spinning — it read
+         [p_spin_val] from this location and is poised to read it again.
+         Re-executing the read before the value changes provably
+         reproduces the same state (continuations depend only on the
+         value read), so the scheduler skips it; this both matches the
+         per-invalidation RMR counting convention and keeps large
+         simulations near-linear. -1 when not spinning (two plain int
+         fields rather than an option: this is written on every step). *)
+  mutable p_spin_val : int;
 }
 
 let section_of_phase = function
@@ -177,7 +180,8 @@ let run config (factory : Lock_intf.factory) =
           p_cs_this_sp = false;
           p_requested_at = 0;
           p_max_bypass = 0;
-          p_spinning_on = None;
+          p_spin_loc = -1;
+          p_spin_val = 0;
         })
   in
   let steps = ref 0 in
@@ -312,7 +316,7 @@ let run config (factory : Lock_intf.factory) =
     | Some t -> Trace.record t (Trace.Crash { pid = p.p_pid; section })
     | None -> ());
     begin_passage p;
-    p.p_spinning_on <- None;
+    p.p_spin_loc <- -1;
     p.p_phase <- Recovery (lock.Lock_intf.recover ~pid:p.p_pid)
   in
   (* Perform one atomic shared-memory operation for [p], with accounting
@@ -340,16 +344,17 @@ let run config (factory : Lock_intf.factory) =
     | None -> ());
     old
   in
-  let poised_read = function
+  (* Location of a poised read, -1 otherwise — queried twice per step. *)
+  let poised_read_loc = function
     | Entry (Prog.Step (loc, Op.Read, _))
     | Cs (Prog.Step (loc, Op.Read, _))
     | Exit (Prog.Step (loc, Op.Read, _))
     | Recovery (Prog.Step (loc, Op.Read, _)) ->
-        Some loc
-    | Entry _ | Cs _ | Exit _ | Recovery _ | Remainder | Finished -> None
+        loc
+    | Entry _ | Cs _ | Exit _ | Recovery _ | Remainder | Finished -> -1
   in
   let execute p =
-    let was_read = poised_read p.p_phase in
+    let was_read = poised_read_loc p.p_phase in
     (match p.p_phase with
     | Entry (Prog.Step (loc, op, k)) ->
         p.p_phase <- Entry (k (perform p loc op Trace.In_entry))
@@ -365,10 +370,11 @@ let run config (factory : Lock_intf.factory) =
     | Exit (Prog.Return _)
     | Recovery (Prog.Return _) ->
         assert false);
-    p.p_spinning_on <-
-      (match (was_read, poised_read p.p_phase) with
-      | Some l, Some l' when l = l' -> Some (l, Memory.value memory l)
-      | _, _ -> None)
+    if was_read >= 0 && poised_read_loc p.p_phase = was_read then begin
+      p.p_spin_loc <- was_read;
+      p.p_spin_val <- Memory.value memory was_read
+    end
+    else p.p_spin_loc <- -1
   in
   let sched_rng =
     match config.policy with
@@ -377,46 +383,60 @@ let run config (factory : Lock_intf.factory) =
   in
   let rr_cursor = ref 0 in
   let still_spinning p =
-    match p.p_spinning_on with
-    | Some (loc, v) when Memory.value memory loc = v -> true
-    | Some _ ->
-        p.p_spinning_on <- None;
-        false
-    | None -> false
+    if p.p_spin_loc < 0 then false
+    else if Memory.value memory p.p_spin_loc = p.p_spin_val then true
+    else begin
+      p.p_spin_loc <- -1;
+      false
+    end
   in
+  (* Candidate pids in ascending order, rebuilt into one shared buffer
+     every step — the scheduler allocates nothing per iteration. *)
+  let cand = Array.make config.n 0 in
   let runnable () =
-    let l = ref [] in
+    let len = ref 0 in
     let spinners = ref 0 in
-    for pid = config.n - 1 downto 0 do
+    for pid = 0 to config.n - 1 do
       match procs.(pid).p_phase with
       | Finished -> ()
       | Remainder ->
-          if procs.(pid).p_left > 0 then l := pid :: !l
+          if procs.(pid).p_left > 0 then begin
+            cand.(!len) <- pid;
+            incr len
+          end
           else procs.(pid).p_phase <- Finished
       | Entry _ | Cs _ | Exit _ | Recovery _ ->
-          if still_spinning procs.(pid) then incr spinners else l := pid :: !l
+          if still_spinning procs.(pid) then incr spinners
+          else begin
+            cand.(!len) <- pid;
+            incr len
+          end
     done;
     (* If every unfinished process is a blocked spinner, nothing can ever
        change: surface them so the step budget flags the deadlock. *)
-    if !l = [] && !spinners > 0 then
-      for pid = config.n - 1 downto 0 do
+    if !len = 0 && !spinners > 0 then
+      for pid = 0 to config.n - 1 do
         match procs.(pid).p_phase with
-        | Entry _ | Cs _ | Exit _ | Recovery _ -> l := pid :: !l
+        | Entry _ | Cs _ | Exit _ | Recovery _ ->
+            cand.(!len) <- pid;
+            incr len
         | Remainder | Finished -> ()
       done;
-    !l
+    !len
   in
-  let pick candidates =
+  let pick len =
     match (config.policy, sched_rng) with
     | Round_robin, _ ->
-        let arr = Array.of_list candidates in
-        let len = Array.length arr in
         (* Advance a global cursor; pick the first candidate at or after it. *)
-        let rec find i = if i >= len then arr.(0) else if arr.(i) >= !rr_cursor then arr.(i) else find (i + 1) in
+        let rec find i =
+          if i >= len then cand.(0)
+          else if cand.(i) >= !rr_cursor then cand.(i)
+          else find (i + 1)
+        in
         let pid = find 0 in
         rr_cursor := (pid + 1) mod config.n;
         pid
-    | Random_policy _, Some rng -> Splitmix.pick rng (Array.of_list candidates)
+    | Random_policy _, Some rng -> cand.(Splitmix.int rng len)
     | Random_policy _, None -> assert false
   in
   let completed = ref false in
@@ -477,23 +497,22 @@ let run config (factory : Lock_intf.factory) =
       procs
   in
   let rec loop () =
-    match runnable () with
-    | [] -> completed := true
-    | candidates ->
-        if budget_left () then begin
-          if system_crash_fires () then do_system_crash ();
-          let pid = pick candidates in
-          let p = procs.(pid) in
-          settle p;
-          (match p.p_phase with
-          | Finished | Remainder -> () (* settled into completion *)
-          | Entry _ | Cs _ | Exit _ | Recovery _ ->
-              if crash_fires p then do_crash p else execute p;
-              (* Settle eagerly so "runnable" reflects completion. *)
-              settle p);
-          incr steps;
-          loop ()
-        end
+    let len = runnable () in
+    if len = 0 then completed := true
+    else if budget_left () then begin
+      if system_crash_fires () then do_system_crash ();
+      let pid = pick len in
+      let p = procs.(pid) in
+      settle p;
+      (match p.p_phase with
+      | Finished | Remainder -> () (* settled into completion *)
+      | Entry _ | Cs _ | Exit _ | Recovery _ ->
+          if crash_fires p then do_crash p else execute p;
+          (* Settle eagerly so "runnable" reflects completion. *)
+          settle p);
+      incr steps;
+      loop ()
+    end
   in
   loop ();
   let proc_stats p =

@@ -1,0 +1,90 @@
+(* Flat mutable bitset: one bit per member, 32 members per word so the
+   index arithmetic is shifts and masks (OCaml ints are 63-bit; using a
+   32-bit stride keeps every word well inside the untagged range). *)
+
+let word_bits = 32
+let word_shift = 5
+let word_mask = word_bits - 1
+
+type t = { mutable words : int array }
+
+let words_for capacity = (max capacity 1 + word_mask) lsr word_shift
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make (words_for capacity) 0 }
+
+let capacity t = Array.length t.words * word_bits
+
+let mem t i =
+  let w = i lsr word_shift in
+  w < Array.length t.words && t.words.(w) land (1 lsl (i land word_mask)) <> 0
+
+let grow t w =
+  let n = Array.length t.words in
+  let n' = max (w + 1) (2 * n) in
+  let words = Array.make n' 0 in
+  Array.blit t.words 0 words 0 n;
+  t.words <- words
+
+let add t i =
+  if i < 0 then invalid_arg "Bitset.add: negative member";
+  let w = i lsr word_shift in
+  if w >= Array.length t.words then grow t w;
+  t.words.(w) <- t.words.(w) lor (1 lsl (i land word_mask))
+
+let remove t i =
+  let w = i lsr word_shift in
+  if w < Array.length t.words then
+    t.words.(w) <- t.words.(w) land lnot (1 lsl (i land word_mask))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let is_empty t =
+  let rec go i = i >= Array.length t.words || (t.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let cardinal t =
+  let c = ref 0 in
+  Array.iter (fun w -> c := !c + Bitword.popcount w) t.words;
+  !c
+
+let iter f t =
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let bits = words.(w) in
+    if bits <> 0 then
+      let base = w lsl word_shift in
+      for b = 0 to word_mask do
+        if bits land (1 lsl b) <> 0 then f (base + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let equal a b =
+  let la = Array.length a.words and lb = Array.length b.words in
+  let rec go i =
+    if i >= la && i >= lb then true
+    else
+      let wa = if i < la then a.words.(i) else 0
+      and wb = if i < lb then b.words.(i) else 0 in
+      wa = wb && go (i + 1)
+  in
+  go 0
+
+let copy t = { words = Array.copy t.words }
+
+let copy_into ~src ~dst =
+  let ls = Array.length src.words and ld = Array.length dst.words in
+  if ld < ls then dst.words <- Array.copy src.words
+  else begin
+    Array.blit src.words 0 dst.words 0 ls;
+    Array.fill dst.words ls (ld - ls) 0
+  end
+
+let to_intset t = fold Intset.add t Intset.empty
+let pp ppf t = Intset.pp ppf (to_intset t)

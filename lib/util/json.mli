@@ -1,0 +1,31 @@
+(** Minimal JSON values for the bench perf harness.
+
+    Just enough of RFC 8259 to write and re-read `BENCH_<n>.json`
+    files without an external dependency: objects, arrays, strings
+    with the standard escapes, floats printed so they round-trip, and
+    the three literals. Not a general-purpose parser — inputs it
+    rejects are reported with a character offset. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val num_int : int -> t
+(** Integer-valued number (printed without an exponent or fraction). *)
+
+val to_string : t -> string
+(** Render with two-space indentation and a trailing newline. *)
+
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] on other variants. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val obj_bindings : t -> (string * t) list
+(** Bindings of an [Obj], [] on other variants. *)

@@ -1,0 +1,107 @@
+(* Tests for the flat mutable Bitset, including a differential qcheck
+   property against Intset (the persistent set it must agree with). *)
+
+module Bitset = Rme_util.Bitset
+module Intset = Rme_util.Intset
+
+let test_basic () =
+  let s = Bitset.create ~capacity:64 in
+  Alcotest.(check bool) "fresh empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 31;
+  Bitset.add s 32;
+  Bitset.add s 63;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 31" true (Bitset.mem s 31);
+  Alcotest.(check bool) "mem 30" false (Bitset.mem s 30);
+  Bitset.remove s 31;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 31);
+  Bitset.remove s 31;
+  Alcotest.(check int) "double remove is a no-op" 3 (Bitset.cardinal s)
+
+let test_growth () =
+  let s = Bitset.create ~capacity:8 in
+  Bitset.add s 1000;
+  Alcotest.(check bool) "grown member" true (Bitset.mem s 1000);
+  Alcotest.(check bool) "beyond capacity absent, not an error" false
+    (Bitset.mem s 100_000);
+  Alcotest.(check bool) "capacity covers it" true (Bitset.capacity s > 1000)
+
+let test_iter_ascending () =
+  let s = Bitset.create ~capacity:16 in
+  List.iter (Bitset.add s) [ 40; 3; 97; 3; 0 ];
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) s;
+  Alcotest.(check (list int)) "ascending, deduplicated" [ 0; 3; 40; 97 ]
+    (List.rev !seen);
+  Alcotest.(check (list int)) "fold agrees with iter" [ 0; 3; 40; 97 ]
+    (List.rev (Bitset.fold (fun i acc -> i :: acc) s []))
+
+let test_clear () =
+  let s = Bitset.create ~capacity:16 in
+  List.iter (Bitset.add s) [ 1; 2; 3 ];
+  Bitset.clear s;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty s);
+  Alcotest.(check int) "cardinal 0" 0 (Bitset.cardinal s)
+
+let test_equal_across_capacities () =
+  let a = Bitset.create ~capacity:8 and b = Bitset.create ~capacity:512 in
+  Bitset.add a 5;
+  Bitset.add b 5;
+  Alcotest.(check bool) "equal despite capacities" true (Bitset.equal a b);
+  Bitset.add b 300;
+  Alcotest.(check bool) "unequal" false (Bitset.equal a b);
+  Alcotest.(check bool) "unequal (flipped)" false (Bitset.equal b a)
+
+let test_copy_into () =
+  let src = Bitset.create ~capacity:8 in
+  List.iter (Bitset.add src) [ 2; 70 ];
+  let dst = Bitset.create ~capacity:8 in
+  List.iter (Bitset.add dst) [ 1; 3; 200 ];
+  Bitset.copy_into ~src ~dst;
+  Alcotest.(check bool) "dst equals src" true (Bitset.equal src dst);
+  Bitset.add dst 9;
+  Alcotest.(check bool) "src unaffected" false (Bitset.mem src 9);
+  let c = Bitset.copy src in
+  Alcotest.(check bool) "copy equal" true (Bitset.equal src c);
+  Bitset.add c 11;
+  Alcotest.(check bool) "copy independent" false (Bitset.mem src 11)
+
+(* Differential property: a random add/remove/clear trace leaves Bitset
+   and Intset extensionally equal (via to_intset and cardinal). *)
+let prop_matches_intset =
+  QCheck.Test.make ~count:300 ~name:"bitset =~ intset under random traces"
+    QCheck.(
+      list_of_size Gen.(int_bound 200)
+        (pair (int_range 0 2) (int_range 0 500)))
+    (fun trace ->
+      let b = Bitset.create ~capacity:4 in
+      let s = ref Intset.empty in
+      List.iter
+        (fun (kind, i) ->
+          match kind with
+          | 0 ->
+              Bitset.add b i;
+              s := Intset.add i !s
+          | 1 ->
+              Bitset.remove b i;
+              s := Intset.remove i !s
+          | _ ->
+              Bitset.clear b;
+              s := Intset.empty)
+        trace;
+      Intset.equal (Bitset.to_intset b) !s
+      && Bitset.cardinal b = Intset.cardinal !s)
+
+let suite =
+  ( "bitset",
+    [
+      Alcotest.test_case "basics" `Quick test_basic;
+      Alcotest.test_case "growth on add" `Quick test_growth;
+      Alcotest.test_case "iteration ascending" `Quick test_iter_ascending;
+      Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "equality across capacities" `Quick
+        test_equal_across_capacities;
+      Alcotest.test_case "copy and copy_into" `Quick test_copy_into;
+      Qc.to_alcotest prop_matches_intset;
+    ] )

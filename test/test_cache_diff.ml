@@ -1,0 +1,152 @@
+(* Differential test: the flat generation/epoch cache (lib/memory/cache.ml)
+   against the pre-optimisation Hashtbl reference (cache_reference.ml).
+
+   Both implementations replay the same random sequence of accesses,
+   crashes, clears and deep copies; after every step the RMR verdict
+   must agree, and the per-process valid sets must be extensionally
+   equal. Locations are drawn beyond one page (256) so the paged
+   representation's boundary and lazy-materialisation paths are hit. *)
+
+module Cache = Rme_memory.Cache
+module Reference = Cache_reference
+module Intset = Rme_util.Intset
+
+type op =
+  | Access of { pid : int; loc : int; is_read : bool }
+  | Drop of int
+  | Clear
+  | Fork  (** continue the run on deep copies of both caches *)
+
+type scenario = { n : int; ops : op list }
+
+let pp_op = function
+  | Access { pid; loc; is_read } ->
+      Printf.sprintf "%s p%d R%d" (if is_read then "read" else "write") pid loc
+  | Drop pid -> Printf.sprintf "crash p%d" pid
+  | Clear -> "clear"
+  | Fork -> "fork"
+
+let print_scenario s =
+  Printf.sprintf "n=%d; %s" s.n (String.concat "; " (List.map pp_op s.ops))
+
+(* Locations cluster near 0 (realistic contention) but occasionally
+   jump past the 256-entry page boundary, exercising page growth. *)
+let gen_loc =
+  QCheck.Gen.(
+    frequency [ (6, int_bound 15); (3, int_bound 300); (1, int_bound 1500) ])
+
+let gen_scenario =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun n ->
+    let gen_op =
+      frequency
+        [
+          ( 12,
+            map3
+              (fun pid loc is_read -> Access { pid; loc; is_read })
+              (int_bound (n - 1)) gen_loc bool );
+          (2, map (fun pid -> Drop pid) (int_bound (n - 1)));
+          (1, return Clear);
+          (1, return Fork);
+        ]
+    in
+    list_size (int_bound 250) gen_op >>= fun ops -> return { n; ops })
+
+let arb_scenario = QCheck.make ~print:print_scenario gen_scenario
+
+let check_agreement ~step flat reference =
+  for pid = 0 to Cache.n flat - 1 do
+    let fs = Cache.valid_set flat ~pid and rs = Reference.valid_set reference ~pid in
+    if not (Intset.equal fs rs) then
+      QCheck.Test.fail_reportf
+        "step %d: valid_set p%d differs: flat=%s reference=%s" step pid
+        (Format.asprintf "%a" Intset.pp fs)
+        (Format.asprintf "%a" Intset.pp rs);
+    (* has_copy must agree with membership in the valid set. *)
+    Intset.iter
+      (fun loc ->
+        if not (Cache.has_copy flat ~pid ~loc) then
+          QCheck.Test.fail_reportf "step %d: p%d R%d in valid_set but no copy"
+            step pid loc)
+      fs
+  done
+
+let run_scenario { n; ops } =
+  let flat = ref (Cache.create ~n) and reference = ref (Reference.create ~n) in
+  List.iteri
+    (fun step op ->
+      (match op with
+      | Access { pid; loc; is_read } ->
+          let fr = Cache.access !flat ~pid ~loc ~is_read
+          and rr = Reference.access !reference ~pid ~loc ~is_read in
+          if fr <> rr then
+            QCheck.Test.fail_reportf
+              "step %d (%s): RMR verdict differs: flat=%b reference=%b" step
+              (pp_op op) fr rr
+      | Drop pid ->
+          Cache.drop_process !flat ~pid;
+          Reference.drop_process !reference ~pid
+      | Clear ->
+          Cache.clear !flat;
+          Reference.clear !reference
+      | Fork ->
+          flat := Cache.copy !flat;
+          reference := Reference.copy !reference);
+      check_agreement ~step !flat !reference)
+    ops;
+  true
+
+let prop_differential =
+  QCheck.Test.make ~count:400 ~name:"flat cache =~ Hashtbl reference"
+    arb_scenario run_scenario
+
+(* copy_into must behave exactly like copy: overwrite a dirty dst of the
+   same n with src's state, then both continue in lock-step. *)
+let prop_copy_into =
+  QCheck.Test.make ~count:200 ~name:"Cache.copy_into reuses dst correctly"
+    (QCheck.pair arb_scenario arb_scenario)
+    (fun (a, b) ->
+      QCheck.assume (a.n = b.n);
+      let src = Cache.create ~n:a.n and dst = Cache.create ~n:a.n in
+      let reference = Reference.create ~n:a.n in
+      let apply c r op =
+        match op with
+        | Access { pid; loc; is_read } ->
+            ignore (Cache.access c ~pid ~loc ~is_read);
+            Option.iter (fun r -> ignore (Reference.access r ~pid ~loc ~is_read)) r
+        | Drop pid ->
+            Cache.drop_process c ~pid;
+            Option.iter (fun r -> Reference.drop_process r ~pid) r
+        | Clear ->
+            Cache.clear c;
+            Option.iter Reference.clear r
+        | Fork -> ()
+      in
+      (* Dirty dst with an unrelated history, then overwrite it. *)
+      List.iter (fun op -> apply dst None op) b.ops;
+      List.iter (fun op -> apply src (Some reference) op) a.ops;
+      Cache.copy_into ~src ~dst;
+      for pid = 0 to a.n - 1 do
+        if not (Cache.equal_for src dst ~pid) then
+          QCheck.Test.fail_reportf "copy_into: p%d differs from src" pid;
+        if
+          not
+            (Intset.equal (Cache.valid_set dst ~pid)
+               (Reference.valid_set reference ~pid))
+        then QCheck.Test.fail_reportf "copy_into: p%d differs from reference" pid
+      done;
+      (* The overwritten dst keeps tracking the reference afterwards. *)
+      List.iter (fun op -> apply dst (Some reference) op) b.ops;
+      for pid = 0 to a.n - 1 do
+        if
+          not
+            (Intset.equal (Cache.valid_set dst ~pid)
+               (Reference.valid_set reference ~pid))
+        then
+          QCheck.Test.fail_reportf "copy_into: p%d diverges after overwrite" pid
+      done;
+      true)
+
+let suite =
+  ( "cache-diff",
+    [ Qc.to_alcotest prop_differential; Qc.to_alcotest prop_copy_into ] )

@@ -1,0 +1,132 @@
+(* Tests for the minimal JSON reader/writer behind the bench
+   perf-regression harness (BENCH_<n>.json files). *)
+
+module Json = Rme_util.Json
+
+let roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_literals () =
+  List.iter
+    (fun v -> Alcotest.(check bool) "literal roundtrips" true (roundtrip v = v))
+    [ Json.Null; Json.Bool true; Json.Bool false; Json.Str ""; Json.List [] ]
+
+let test_nested_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("schema", Json.num_int 1);
+        ( "probes",
+          Json.Obj
+            [
+              ("harness: km n=8 CC", Json.Obj [ ("ns_per_run", Json.Num 42318.7) ]);
+              ("empty", Json.Obj []);
+            ] );
+        ("list", Json.List [ Json.num_int (-3); Json.Null; Json.Str "x\"y\\z" ]);
+      ]
+  in
+  Alcotest.(check bool) "nested roundtrip" true (roundtrip v = v)
+
+let test_float_fidelity () =
+  (* Floats must survive print-then-parse bit-exactly: the compare
+     subcommand recomputes ratios from re-read files. *)
+  List.iter
+    (fun f ->
+      match roundtrip (Json.Num f) with
+      | Json.Num f' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "float %h survives" f)
+            true
+            (Int64.bits_of_float f = Int64.bits_of_float f')
+      | _ -> Alcotest.fail "not a number")
+    [ 0.1; 1.0 /. 3.0; 6.02e23; -0.0; 5.0; 42318.661532156956 ]
+
+let test_integer_floats_printed_plain () =
+  let s = Json.to_string (Json.num_int 1234) in
+  Alcotest.(check bool) "no exponent/fraction" true
+    (String.trim s = "1234")
+
+let test_string_escapes () =
+  let s = "tab\t nl\n quote\" back\\ ctrl\x01 high\xc3\xa9" in
+  match roundtrip (Json.Str s) with
+  | Json.Str s' -> Alcotest.(check string) "escapes roundtrip" s s'
+  | _ -> Alcotest.fail "not a string"
+
+let test_unicode_escape_parses () =
+  match Json.of_string "\"a\\u00e9b\\u0041\"" with
+  | Ok (Json.Str s) -> Alcotest.(check string) "utf-8 decoded" "a\xc3\xa9bA" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_rejects_garbage () =
+  List.iter
+    (fun input ->
+      match Json.of_string input with
+      | Ok _ -> Alcotest.failf "accepted %S" input
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error mentions offset" input)
+            true
+            (String.length e > 0))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let test_accessors () =
+  let v = Json.Obj [ ("a", Json.Num 1.5); ("b", Json.Str "x") ] in
+  Alcotest.(check (option (float 0.0))) "member/to_float" (Some 1.5)
+    (Option.bind (Json.member "a" v) Json.to_float);
+  Alcotest.(check (option string)) "member/to_str" (Some "x")
+    (Option.bind (Json.member "b" v) Json.to_str);
+  Alcotest.(check bool) "missing member" true (Json.member "c" v = None);
+  Alcotest.(check int) "obj_bindings" 2 (List.length (Json.obj_bindings v));
+  Alcotest.(check int) "obj_bindings non-obj" 0
+    (List.length (Json.obj_bindings Json.Null))
+
+(* Generator for arbitrary JSON trees of bounded depth. *)
+let gen_json =
+  QCheck.Gen.(
+    sized_size (int_bound 4) @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              (* of_string only produces finite numbers; stay in range. *)
+              map (fun f -> Json.Num f) (float_bound_inclusive 1e9);
+              map (fun i -> Json.num_int i) (int_range (-1000) 1000);
+              map (fun s -> Json.Str s) (string_size (int_bound 12));
+            ]
+        in
+        if n = 0 then leaf
+        else
+          frequency
+            [
+              (2, leaf);
+              (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2))));
+              ( 1,
+                map
+                  (fun l -> Json.Obj l)
+                  (list_size (int_bound 4)
+                     (pair (string_size (int_bound 8)) (self (n / 2)))) );
+            ]))
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"json print/parse roundtrip"
+    (QCheck.make gen_json)
+    (fun v -> roundtrip v = v)
+
+let suite =
+  ( "json",
+    [
+      Alcotest.test_case "literals" `Quick test_literals;
+      Alcotest.test_case "nested roundtrip" `Quick test_nested_roundtrip;
+      Alcotest.test_case "float fidelity" `Quick test_float_fidelity;
+      Alcotest.test_case "integer floats plain" `Quick
+        test_integer_floats_printed_plain;
+      Alcotest.test_case "string escapes" `Quick test_string_escapes;
+      Alcotest.test_case "unicode escapes" `Quick test_unicode_escape_parses;
+      Alcotest.test_case "malformed inputs rejected" `Quick test_rejects_garbage;
+      Alcotest.test_case "accessors" `Quick test_accessors;
+      Qc.to_alcotest prop_roundtrip;
+    ] )

@@ -13,7 +13,11 @@ let () =
     [
       Test_bitword.suite;
       Test_util.suite;
+      Test_bitset.suite;
+      Test_json.suite;
       Test_memory.suite;
+      Test_cache_diff.suite;
+      Test_snapshot.suite;
       Test_prog.suite;
       Test_harness.suite;
       Test_checker.suite;
