@@ -231,7 +231,8 @@ let shutdown t =
    respawn pending. *)
 let viable w = w.state <> Off || not w.no_respawn
 
-let run t ~tasks ?(on_done = fun _ -> ()) () =
+let run t ~tasks ?(on_done = fun _ -> ()) ?(on_result = fun _ _ -> ())
+    ?(should_stop = fun () -> false) () =
   let n = Array.length tasks in
   let results = Array.make n None in
   if n > 0 then begin
@@ -257,6 +258,7 @@ let run t ~tasks ?(on_done = fun _ -> ()) () =
           | Some (Some v) when results.(i) = None ->
               results.(i) <- Some v;
               t.s_remote <- t.s_remote + 1;
+              on_result i v;
               on_done i
           | Some (Some _) -> ()
           | Some None | None ->
@@ -320,21 +322,32 @@ let run t ~tasks ?(on_done = fun _ -> ()) () =
       end
     in
     let busy () = Array.exists (fun w -> match w.state with Busy _ -> true | _ -> false) t.slots in
-    while not (Queue.is_empty queue && not (busy ())) do
+    (* A cancellation ([should_stop]) stops handing out work but still
+       drains batches already in flight — their results are committed
+       by [on_result], so graceful shutdown loses nothing a worker
+       already computed. The undistributed remainder stays [None]. *)
+    while
+      not ((Queue.is_empty queue || should_stop ()) && not (busy ()))
+    do
       if not (Array.exists viable t.slots) then
         (* Every worker is gone for good: hand the remainder back. *)
         while not (Queue.is_empty queue) do
           unserved (Queue.pop queue)
         done
       else begin
+        let stopping = should_stop () in
         let tnow = now () in
-        (* Respawns whose backoff has elapsed. *)
+        (* Respawns whose backoff has elapsed (pointless when
+           draining: a fresh worker would get no work). *)
         Array.iter
           (fun w ->
-            if w.state = Off && (not w.no_respawn) && tnow >= w.respawn_at then spawn t w)
+            if
+              w.state = Off && (not w.no_respawn) && (not stopping)
+              && tnow >= w.respawn_at
+            then spawn t w)
           t.slots;
         (* Hand batches to idle workers. *)
-        Array.iter (fun w -> if w.state = Idle then assign w) t.slots;
+        Array.iter (fun w -> if w.state = Idle && not stopping then assign w) t.slots;
         (* Wait for results, handshakes, deaths — or the next deadline. *)
         let timeout = ref 0.25 in
         let consider at = if at -. tnow < !timeout then timeout := max 0.005 (at -. tnow) in

@@ -76,14 +76,26 @@ val config : t -> config
 val stats : t -> stats
 
 val run :
-  t -> tasks:(string * string) array -> ?on_done:(int -> unit) -> unit -> string option array
+  t ->
+  tasks:(string * string) array ->
+  ?on_done:(int -> unit) ->
+  ?on_result:(int -> string -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  unit ->
+  string option array
 (** [run t ~tasks ()] distributes [tasks.(i) = (section, key)] over
     the live workers and returns the encoded values, index-aligned.
     [None] marks a task no worker could serve (all workers lost, or
     the worker reported the entry unservable); the caller computes
     those in-process. [on_done i] fires once per task completed
-    remotely — progress aggregation. A [t] is reusable across many
-    [run] calls; workers stay warm in between. *)
+    remotely — progress aggregation. [on_result i value] fires at the
+    same moment with the encoded value, letting the caller commit
+    results incrementally (so a cancellation mid-run keeps them).
+    [should_stop], polled between scheduling steps, cancels
+    gracefully: no further batches are handed out, in-flight batches
+    drain normally (their results still fire the callbacks), and the
+    undistributed remainder comes back [None]. A [t] is reusable
+    across many [run] calls; workers stay warm in between. *)
 
 val shutdown : t -> unit
 (** Close the pipes (workers see EOF and exit), reap the processes

@@ -20,6 +20,11 @@ let serve ~fingerprint ~compute ?(on_batch = fun () -> ()) ic oc =
                is. A mismatch ends in the coordinator dropping us. *)
             if write (Protocol.encode (Protocol.Ready fingerprint)) then loop ()
         | Some (Protocol.Batch (id, tasks)) ->
+            (* Fault injection: a worker that accepts a batch and never
+               answers — what the coordinator's batch deadline exists
+               to catch. The sleep far exceeds any deadline in use; the
+               coordinator SIGKILLs us long before it returns. *)
+            if Rme_util.Fault.fire "worker-stall" then Unix.sleepf 3600.0;
             let entries =
               List.map
                 (fun (section, key) ->

@@ -33,6 +33,13 @@ val create :
   ?workers:int ->
   ?worker_argv:string array ->
   ?worker_deadline:float ->
+  ?cell_timeout:float ->
+  ?step_budget:int ->
+  ?retry_timed_out:bool ->
+  ?escalation:float ->
+  ?autosave_cells:int ->
+  ?autosave_secs:float ->
+  ?label:string ->
   unit ->
   t
 (** [create ~jobs ()] makes an engine over a fresh pool ([jobs]
@@ -48,8 +55,24 @@ val create :
     (default: this executable with a ["worker"] argument — right for
     [bin/rme], other hosts must pass their own); [worker_deadline]
     bounds how long a worker may hold one batch before it is declared
-    hung. Worker failures of any kind degrade to in-process compute;
-    they can never change results (see {!counters}). *)
+    hung (default: derived from [cell_timeout] when one is set —
+    explicit flag beats [RME_BATCH_DEADLINE] beats derived beats the
+    flat 300 s). Worker failures of any kind degrade to in-process
+    compute; they can never change results (see {!counters}).
+
+    {b Budgets}: [cell_timeout] (wall-clock seconds) and
+    [step_budget] (scheduler turns, overriding the harness's [n^2]
+    formula) bound each trial cell; a cell exceeding either records an
+    explicit timed-out result instead of hanging the sweep.
+    [retry_timed_out] (what [--resume] sets) treats stored timed-out
+    results as misses and recomputes them with both budgets scaled by
+    [escalation] (default 1.0).
+
+    {b Autosave}: with a store attached, committed results are
+    flushed — and the run manifest rewritten — every [autosave_cells]
+    cells (default 64) or [autosave_secs] seconds (default 10),
+    whichever trips first, bounding what a SIGKILL can lose. [label]
+    names the sweep in the manifest. *)
 
 val jobs : t -> int
 
@@ -104,6 +127,111 @@ val resolve_workers : ?cli:int -> unit -> int
     [RME_WORKERS] environment variable; with neither set (or
     unparsable), workers are off ([0]). Negative values clamp to 0. *)
 
+val configure :
+  ?cell_timeout:float ->
+  ?step_budget:int ->
+  ?retry_timed_out:bool ->
+  ?escalation:float ->
+  ?autosave_cells:int ->
+  ?autosave_secs:float ->
+  ?label:string ->
+  unit ->
+  unit
+(** Adjust the default engine's budgets, autosave cadence and sweep
+    label in place (absent arguments leave the current value). The
+    front-ends call this after flag parsing; [--resume] additionally
+    sets [retry_timed_out:true] with an [escalation] factor. *)
+
+val resolve_cell_timeout : ?cli:float -> unit -> float option
+val resolve_step_budget : ?cli:int -> unit -> int option
+
+val resolve_batch_deadline : ?cli:float -> unit -> float option
+(** Budget resolution shared by the front-ends: the explicit flag
+    ([--cell-timeout] / [--step-budget] / [--batch-deadline]) beats
+    the environment ([RME_CELL_TIMEOUT] / [RME_STEP_BUDGET] /
+    [RME_BATCH_DEADLINE]); with neither, [None] — no wall-clock cell
+    bound, the harness's step formula, and a batch deadline derived
+    from the cell budget (or the flat default). *)
+
+val resolve_autosave : unit -> int option * float option
+(** [(RME_AUTOSAVE_CELLS, RME_AUTOSAVE_SECS)] from the environment —
+    there are no CLI flags for these outside [bench]. *)
+
+val resolve_progress : ?cli:bool -> unit -> bool
+(** The [--progress] policy: the explicit flag forces the readout on;
+    otherwise it is on exactly when stderr is a terminal, so
+    redirected sweep logs stay clean. *)
+
+(** {1 Budgets} *)
+
+type budgets = {
+  cell_timeout : float option;  (** wall-clock seconds per cell. *)
+  step_budget : int option;
+      (** scheduler turns per cell; [None] = the harness's
+          {!Rme_sim.Harness.default_step_budget} formula. *)
+  retry_timed_out : bool;
+      (** treat stored timed-out results as misses and recompute. *)
+  escalation : float;  (** budget scale factor applied on retry runs. *)
+}
+
+val no_budgets : budgets
+(** No wall-clock bound, formula step budget, no retry, scale 1.0. *)
+
+(** {1 Interruption}
+
+    Cooperative cancellation for long sweeps. The first SIGINT/SIGTERM
+    sets a process-wide flag; {!prefetch} polls it between commits,
+    stops handing out cells, drains what is in flight (every finished
+    cell is still committed), checkpoints the store and manifest, and
+    raises {!Interrupted}. A second signal hard-exits (130/143). *)
+
+exception Interrupted
+(** Raised out of {!prefetch}/{!get} after a checkpoint; every result
+    computed before the interrupt is flushed and a later run with the
+    same cache directory resumes where this one stopped. *)
+
+val exit_interrupted : int
+(** The exit code ([75], [EX_TEMPFAIL]) front-ends use after catching
+    {!Interrupted}: stopped cleanly, state saved, safe to re-run. *)
+
+val install_interrupt_handlers : unit -> unit
+(** Route SIGINT and SIGTERM into {!request_interrupt} (second signal
+    hard-exits). No-op on platforms without these signals. *)
+
+val request_interrupt : unit -> unit
+(** Set the interrupt flag by hand — what the signal handlers and the
+    in-process tests call. *)
+
+val interrupted : unit -> bool
+val clear_interrupt : unit -> unit
+
+(** {1 Run manifests}
+
+    A sweep with a store attached maintains
+    [<cache-dir>/manifest.json] — a small progress summary rewritten
+    atomically at every autosave and checkpoint. The {e store} is the
+    source of truth for resuming; the manifest is for humans and
+    tooling ([--resume] banners, CI assertions). *)
+
+type manifest = {
+  m_fingerprint : string;
+  m_label : string;
+  m_total : int;  (** cells requested by the interrupted sweep. *)
+  m_done : int;  (** of which committed (memo, disk or computed). *)
+  m_timed_out : int;
+  m_elapsed : float;
+  m_interrupted : bool;
+}
+
+val manifest_path : dir:string -> string
+val load_manifest : dir:string -> manifest option
+(** [None] when absent or unreadable — a missing manifest never blocks
+    a resume; the store alone decides what is left to compute. *)
+
+val resume_banner : dir:string -> string
+(** A one-line human summary of what resuming from [dir] will do
+    (fresh start / fingerprint mismatch / N of M cells to go). *)
+
 (** {1 Harness trial cells} *)
 
 type cell = {
@@ -134,6 +262,10 @@ val cell :
 
 type cell_result = {
   ok : bool;
+  timed_out : bool;
+      (** the run was cut short by a cell budget (wall-clock or step);
+          the numbers below cover only the steps taken. Stored entries
+          written before budgets existed decode as [false]. *)
   max_passage_rmr : int;
   mean_passage_rmr : float;
   total_crashes : int;
@@ -238,15 +370,19 @@ val adv_cell_of_key_string : string -> adv_cell option
 
 (** {1 Multi-process worker sharding} *)
 
-val compute_encoded : section:string -> key:string -> string option
+val compute_encoded :
+  ?budgets:budgets -> section:string -> key:string -> unit -> string option
 (** The worker-side dispatch: decode the key of the given section,
-    compute the cell, encode the result. [None] for undecodable keys
-    or unknown sections — reported back to the coordinator as
-    unservable, which then computes in-process. *)
+    compute the cell (under [budgets], if given), encode the result.
+    [None] for undecodable keys or unknown sections — reported back to
+    the coordinator as unservable, which then computes in-process. *)
 
-val serve_worker : ?cache_dir:string -> in_channel -> out_channel -> unit
+val serve_worker :
+  ?cache_dir:string -> ?budgets:budgets -> in_channel -> out_channel -> unit
 (** Run the {!Rme_dist.Worker} loop over the given channels (the
     hidden [rme worker] / [bench --worker] entry points). With
     [cache_dir], the worker consults and feeds that store itself
     (flushed after every batch), so worker-computed results persist
-    even if the coordinator is lost. *)
+    even if the coordinator is lost. [budgets] mirrors the
+    coordinator's cell budgets — under [retry_timed_out] the worker's
+    own disk tier refuses to serve stored timed-out results. *)

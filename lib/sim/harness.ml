@@ -23,9 +23,16 @@ type config = {
   allow_cs_crash : bool;
   max_crashes_per_process : int;
   step_budget : int;
+  deadline : float option;
   record_trace : bool;
   cs : (pid:int -> attempt:int -> unit Prog.t) option;
 }
+
+(* The default scheduler-turn budget: a constant floor for tiny runs
+   plus an n^2 term (each of n processes may legitimately wait out
+   O(n) critical sections under contention). Exposed so experiments
+   and front-ends can scale or override it. *)
+let default_step_budget ~n = 20_000 + (4_000 * n * n)
 
 let default_config ~n ~width model =
   {
@@ -37,7 +44,8 @@ let default_config ~n ~width model =
     crashes = No_crashes;
     allow_cs_crash = false;
     max_crashes_per_process = 1;
-    step_budget = 20_000 + (4_000 * n * n);
+    step_budget = default_step_budget ~n;
+    deadline = None;
     record_trace = false;
     cs = None;
   }
@@ -56,6 +64,7 @@ type proc_stats = {
 type result = {
   ok : bool;
   completed : bool;
+  timed_out : bool;
   steps : int;
   violations : string list;
   procs : proc_stats array;
@@ -440,7 +449,24 @@ let run config (factory : Lock_intf.factory) =
     | Random_policy _, None -> assert false
   in
   let completed = ref false in
-  let budget_left () = !steps < config.step_budget in
+  let timed_out = ref false in
+  (* Budget check, consulted only while runnable work remains — so
+     exhausting it always means the run was cut short. The wall-clock
+     deadline is polled every 1024 turns: cheap enough to leave on,
+     frequent enough that a pathological cell overshoots its budget by
+     at most one poll interval. *)
+  let budget_left () =
+    if !steps >= config.step_budget then begin
+      timed_out := true;
+      false
+    end
+    else
+      match config.deadline with
+      | Some d when !steps land 1023 = 0 && Unix.gettimeofday () > d ->
+          timed_out := true;
+          false
+      | _ -> true
+  in
   (* System-wide crash: every process outside the remainder crashes at
      the same instant, and the lock's epoch counter — the Golab–Hendler
      system support — is incremented. *)
@@ -543,6 +569,7 @@ let run config (factory : Lock_intf.factory) =
   {
     ok = !completed && violations = [];
     completed = !completed;
+    timed_out = !timed_out;
     steps = !steps;
     violations;
     procs = stats;

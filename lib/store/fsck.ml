@@ -1,0 +1,246 @@
+(* Offline store inspection and repair — what [rme store
+   verify|repair|compact|stats] run. Unlike {!Store.open_} (which
+   quarantines as a side effect of loading), {!scan} is strictly
+   read-only; mutation happens only in {!repair} and {!compact}.
+
+   These are offline tools: they assume no live engine is writing to
+   the directory while they run. *)
+
+type shard_class =
+  | Clean of int  (* intact entries *)
+  | Stale  (* other fingerprint or future format version; left alone *)
+  | Torn of { good : int; dropped : int }
+      (* valid prefix, then only bad/unterminated tail lines *)
+  | Corrupt of { good : int; bad : int }
+      (* bad lines in the interior: not a tear, actual corruption *)
+  | Unreadable  (* bad or missing header, or the file cannot be read *)
+
+type report = {
+  scanned : int;
+  clean : int;
+  stale : int;
+  torn : int;
+  corrupt : int;
+  unreadable : int;
+  entries : int;  (* distinct intact entries across readable shards *)
+  lost_lines : int;  (* entry lines dropped as torn or corrupt *)
+  healed : int;  (* repair: torn shards rewritten in place *)
+  quarantined : int;  (* repair: files moved to quarantine/ *)
+  salvaged : int;  (* repair: entries recovered out of corrupt shards *)
+  sections : (string * int) list;  (* distinct entries per section, sorted *)
+  files : (string * shard_class) list;  (* per file, sorted by name *)
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> In_channel.input_all ic)
+
+(* Classify one shard's content. The distinction that matters: a torn
+   tail (external truncation of an atomically published file — every
+   bad line at the very end) is healed by dropping the tail, while an
+   interior bad line means the storage corrupted data we already
+   trusted once, so the whole file is suspect and gets quarantined,
+   keeping only lines whose checksums still verify. *)
+let classify ~fingerprint content =
+  match String.index_opt content '\n' with
+  | None -> `Unreadable
+  | Some i -> (
+      match Record.parse_header (String.sub content 0 i) with
+      | `Bad -> `Unreadable
+      | `Future -> `Stale
+      | `Ok (_, fp) when fp <> fingerprint -> `Stale
+      | `Ok (version, _) ->
+          let body = String.sub content (i + 1) (String.length content - i - 1) in
+          let items =
+            let rec go acc = function
+              | [] | [ "" ] -> List.rev acc
+              | [ tail ] ->
+                  (* No final newline: an unterminated tail line is
+                     never trusted, even if it happens to parse. *)
+                  List.rev ((tail, None) :: acc)
+              | l :: rest -> go ((l, Record.decode_line ~version l) :: acc) rest
+            in
+            go [] (String.split_on_char '\n' body)
+          in
+          let total = List.length items in
+          let good = List.filter_map snd items in
+          let n_good = List.length good in
+          let n_bad = total - n_good in
+          if n_bad = 0 then `Body (Clean n_good, good)
+          else
+            let first_bad =
+              let rec go i = function
+                | (_, None) :: _ -> i
+                | _ :: rest -> go (i + 1) rest
+                | [] -> i
+              in
+              go 0 items
+            in
+            if first_bad + n_bad = total then
+              (* All bad lines form a suffix: the valid prefix is
+                 exactly the first [first_bad] entries. *)
+              `Body (Torn { good = n_good; dropped = n_bad }, good)
+            else `Body (Corrupt { good = n_good; bad = n_bad }, good))
+
+let shard_files dir =
+  let files = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort compare files;
+  Array.to_list files
+  |> List.filter (fun f ->
+         Filename.check_suffix f ".rme"
+         && not (Sys.is_directory (Filename.concat dir f)))
+
+let classify_file ~fingerprint path =
+  match read_file path with
+  | exception Sys_error _ -> `Unreadable
+  | content -> classify ~fingerprint content
+
+let empty_report =
+  {
+    scanned = 0;
+    clean = 0;
+    stale = 0;
+    torn = 0;
+    corrupt = 0;
+    unreadable = 0;
+    entries = 0;
+    lost_lines = 0;
+    healed = 0;
+    quarantined = 0;
+    salvaged = 0;
+    sections = [];
+    files = [];
+  }
+
+(* Walk the directory, classify every shard, and aggregate. [on_file]
+   lets {!repair} act on each classification as it is made. *)
+let survey ~dir ~fingerprint ~on_file =
+  let tbl : (string * string, string) Hashtbl.t = Hashtbl.create 256 in
+  let acc = ref empty_report in
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let cls, entries =
+        match classify_file ~fingerprint path with
+        | `Unreadable -> (Unreadable, [])
+        | `Stale -> (Stale, [])
+        | `Body (cls, entries) -> (cls, entries)
+      in
+      List.iter (fun (s, k, v) -> Hashtbl.replace tbl (s, k) v) entries;
+      let r = !acc in
+      acc :=
+        {
+          r with
+          scanned = r.scanned + 1;
+          clean = (r.clean + match cls with Clean _ -> 1 | _ -> 0);
+          stale = (r.stale + match cls with Stale -> 1 | _ -> 0);
+          torn = (r.torn + match cls with Torn _ -> 1 | _ -> 0);
+          corrupt = (r.corrupt + match cls with Corrupt _ -> 1 | _ -> 0);
+          unreadable = (r.unreadable + match cls with Unreadable -> 1 | _ -> 0);
+          lost_lines =
+            (r.lost_lines
+            + match cls with
+              | Torn { dropped; _ } -> dropped
+              | Corrupt { bad; _ } -> bad
+              | _ -> 0);
+          files = (f, cls) :: r.files;
+        };
+      on_file ~path ~cls ~entries acc)
+    (shard_files dir);
+  let sections = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (s, _) _ ->
+      Hashtbl.replace sections s (1 + Option.value ~default:0 (Hashtbl.find_opt sections s)))
+    tbl;
+  let r = !acc in
+  ( {
+      r with
+      entries = Hashtbl.length tbl;
+      sections = List.sort compare (Hashtbl.fold (fun s n l -> (s, n) :: l) sections []);
+      files = List.rev r.files;
+    },
+    tbl )
+
+let scan ~dir ~fingerprint =
+  fst (survey ~dir ~fingerprint ~on_file:(fun ~path:_ ~cls:_ ~entries:_ _ -> ()))
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ when Sys.is_directory d -> ()
+    end
+  in
+  go dir
+
+let file_counter = Atomic.make 0
+
+let quarantine_file ~dir path =
+  let qdir = Filename.concat dir "quarantine" in
+  mkdir_p qdir;
+  let dest =
+    Filename.concat qdir
+      (Printf.sprintf "%s.%d-%d" (Filename.basename path) (Unix.getpid ())
+         (Atomic.fetch_and_add file_counter 1))
+  in
+  try Sys.rename path dest with Sys_error _ -> ()
+
+let fresh_shard ~dir prefix =
+  Filename.concat dir
+    (Printf.sprintf "%s-%d-%x-%d.rme" prefix (Unix.getpid ())
+       (int_of_float (Unix.gettimeofday () *. 1e6) land 0xffffff)
+       (Atomic.fetch_and_add file_counter 1))
+
+let repair ~dir ~fingerprint =
+  let on_file ~path ~cls ~entries acc =
+    match cls with
+    | Clean _ | Stale -> ()
+    | Torn _ ->
+        (* Heal in place: republish the valid prefix under the same
+           name (atomic rename, so a crash mid-heal leaves the torn
+           original, not less). *)
+        Store.write_shard ~fingerprint ~path entries;
+        acc := { !acc with healed = !acc.healed + 1 }
+    | Corrupt _ ->
+        quarantine_file ~dir path;
+        if entries <> [] then
+          Store.write_shard ~fingerprint ~path:(fresh_shard ~dir "healed")
+            (List.sort_uniq compare entries);
+        acc :=
+          {
+            !acc with
+            quarantined = !acc.quarantined + 1;
+            salvaged = !acc.salvaged + List.length entries;
+          }
+    | Unreadable ->
+        quarantine_file ~dir path;
+        acc := { !acc with quarantined = !acc.quarantined + 1 }
+  in
+  fst (survey ~dir ~fingerprint ~on_file)
+
+let compact ~dir ~fingerprint =
+  (* Heal first so a torn tail is not silently discarded by way of
+     deleting its source file below. *)
+  let _ = repair ~dir ~fingerprint in
+  let sources = ref [] in
+  let report, tbl =
+    survey ~dir ~fingerprint ~on_file:(fun ~path ~cls ~entries:_ _ ->
+        match cls with
+        | Clean _ -> sources := path :: !sources
+        | Stale | Torn _ | Corrupt _ | Unreadable -> ())
+  in
+  ignore report;
+  let sources = List.rev !sources in
+  let n_sources = List.length sources in
+  let entries =
+    Hashtbl.fold (fun (s, k) v l -> (s, k, v) :: l) tbl [] |> List.sort compare
+  in
+  if n_sources > 1 then begin
+    (* Publish the merged shard before deleting any source: a crash in
+       between leaves duplicates, never a loss. *)
+    Store.write_shard ~fingerprint ~path:(fresh_shard ~dir "compact") entries;
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) sources
+  end;
+  (n_sources, List.length entries)

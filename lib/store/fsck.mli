@@ -1,0 +1,61 @@
+(** Offline store inspection and repair — the engine room of the
+    [rme store verify|repair|compact|stats] subcommands.
+
+    {!scan} is strictly read-only (unlike {!Store.open_}, which
+    quarantines corrupt files as a side effect of loading); mutation
+    happens only in {!repair} and {!compact}. All three assume no live
+    engine is concurrently writing to the directory.
+
+    Classification distinguishes the two ways a shard goes bad:
+
+    - a {e torn tail} — every bad line at the very end of the file, the
+      signature of external truncation (power loss under a non-atomic
+      filesystem, a partial copy). Healed in place by republishing the
+      valid prefix.
+    - {e corruption} — a bad line in the interior, meaning storage
+      mutated data that once verified. The file is quarantined and the
+      lines whose checksums still verify are salvaged into a fresh
+      shard. *)
+
+type shard_class =
+  | Clean of int  (** intact entries. *)
+  | Stale  (** other fingerprint or future format version; left alone. *)
+  | Torn of { good : int; dropped : int }
+  | Corrupt of { good : int; bad : int }
+  | Unreadable  (** bad or missing header, or unreadable file. *)
+
+type report = {
+  scanned : int;
+  clean : int;
+  stale : int;
+  torn : int;
+  corrupt : int;
+  unreadable : int;
+  entries : int;
+      (** distinct intact entries across readable shards of this
+          fingerprint. *)
+  lost_lines : int;  (** entry lines dropped as torn or corrupt. *)
+  healed : int;  (** {!repair} only: torn shards rewritten in place. *)
+  quarantined : int;  (** {!repair} only: files moved to [quarantine/]. *)
+  salvaged : int;
+      (** {!repair} only: entries recovered out of corrupt shards. *)
+  sections : (string * int) list;  (** distinct entries per section. *)
+  files : (string * shard_class) list;  (** per shard file, by name. *)
+}
+
+val scan : dir:string -> fingerprint:string -> report
+(** Classify every [*.rme] shard under [dir] without touching
+    anything. *)
+
+val repair : dir:string -> fingerprint:string -> report
+(** Heal torn shards in place, quarantine corrupt and unreadable ones
+    (salvaging their checksum-valid lines into a fresh shard), leave
+    clean and stale shards alone. The report reflects the {e pre}-repair
+    classification plus the actions taken. *)
+
+val compact : dir:string -> fingerprint:string -> int * int
+(** Merge all clean shards of the given fingerprint into a single
+    shard (runs {!repair} first): [(shards merged, entries written)].
+    The merged shard is published before any source is deleted, so a
+    crash mid-compact leaves duplicates, never a loss. No-op when
+    fewer than two clean shards exist. *)

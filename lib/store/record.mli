@@ -1,0 +1,31 @@
+(** The shard file syntax — shared between the {!Store} reader/writer
+    and the {!Fsck} offline toolkit.
+
+    A shard is line-oriented text: a header line
+    [# rme-store <version> <fingerprint>] followed by one entry per
+    line. Version 1 lines are bare [<section> <key> := <value>];
+    version 2 (current) appends [ #<crc32>] — the CRC-32 of the
+    payload as 8 lowercase hex digits — so each line carries its own
+    integrity check. Readers accept both versions; writers emit only
+    the current one. *)
+
+val magic : string
+val current_version : int
+
+val header : fingerprint:string -> string
+(** The header line every newly written shard starts with. *)
+
+val parse_header : string -> [ `Ok of int * string | `Future | `Bad ]
+(** Classify a header line: [`Ok (version, fingerprint)] for a format
+    this code reads, [`Future] for a well-formed header of a newer
+    version (to be skipped, not quarantined), [`Bad] for anything
+    else. *)
+
+val encode_line : section:string -> key:string -> value:string -> string
+(** A current-version entry line (checksummed), without the trailing
+    newline. *)
+
+val decode_line : version:int -> string -> (string * string * string) option
+(** Parse one entry line under the given header version:
+    [(section, key, value)], or [None] for a malformed line or (v2) a
+    checksum mismatch. *)

@@ -24,13 +24,6 @@ type t = {
   mutable disk_hits : int;
 }
 
-(* Format version of the shard file syntax itself (header + line
-   grammar). Distinct from the semantic fingerprint, which callers
-   derive from the code computing the values. *)
-let header_magic = "# rme-store 1"
-let header ~fingerprint = header_magic ^ " " ^ fingerprint
-let entry_sep = " := "
-
 let mkdir_p dir =
   let rec go d =
     if d <> "" && not (Sys.file_exists d) then begin
@@ -44,57 +37,32 @@ let read_file path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> In_channel.input_all ic)
 
-(* One entry per line: [<section> <key> := <value>]. The key itself is
-   space-separated fields, so the section is the first token and the
-   key runs up to the (first) separator. *)
-let parse_line line =
-  let find_sub () =
-    let n = String.length line and sl = String.length entry_sep in
-    let rec go i =
-      if i + sl > n then None
-      else if String.sub line i sl = entry_sep then Some i
-      else go (i + 1)
-    in
-    go 0
-  in
-  match find_sub () with
-  | None -> None
-  | Some i -> (
-      let lhs = String.sub line 0 i in
-      let value = String.sub line (i + String.length entry_sep) (String.length line - i - String.length entry_sep) in
-      match String.index_opt lhs ' ' with
-      | None -> None
-      | Some j ->
-          let section = String.sub lhs 0 j in
-          let key = String.sub lhs (j + 1) (String.length lhs - j - 1) in
-          if section = "" || key = "" then None else Some (section, key, value))
-
-(* Parse a whole shard. [`Corrupt salvaged] carries the valid prefix:
-   complete, well-formed lines before the first bad one. A missing
-   final newline marks a truncated tail (every writer ends the file
-   with one), so the tail line is rejected, not half-trusted. *)
+(* Parse a whole shard (any readable header version — see {!Record}).
+   [`Corrupt salvaged] carries the valid prefix: complete, well-formed
+   lines before the first bad one. A missing final newline marks a
+   truncated tail (every writer ends the file with one), so the tail
+   line is rejected, not half-trusted. *)
 let parse_shard ~fingerprint content =
   match String.index_opt content '\n' with
   | None -> `Corrupt []
-  | Some i ->
+  | Some i -> (
       let hdr = String.sub content 0 i in
-      if hdr <> header ~fingerprint then
-        if
-          String.length hdr >= String.length header_magic
-          && String.sub hdr 0 (String.length header_magic) = header_magic
-        then `Stale
-        else `Corrupt []
-      else
-        let body = String.sub content (i + 1) (String.length content - i - 1) in
-        let rec go acc = function
-          | [] | [ "" ] -> `Ok (List.rev acc)
-          | [ _truncated_tail ] -> `Corrupt (List.rev acc)
-          | line :: rest -> (
-              match parse_line line with
-              | Some e -> go (e :: acc) rest
-              | None -> `Corrupt (List.rev acc))
-        in
-        go [] (String.split_on_char '\n' body)
+      match Record.parse_header hdr with
+      | `Bad -> `Corrupt []
+      | `Future -> `Stale
+      | `Ok (version, fp) ->
+          if fp <> fingerprint then `Stale
+          else
+            let body = String.sub content (i + 1) (String.length content - i - 1) in
+            let rec go acc = function
+              | [] | [ "" ] -> `Ok (List.rev acc)
+              | [ _truncated_tail ] -> `Corrupt (List.rev acc)
+              | line :: rest -> (
+                  match Record.decode_line ~version line with
+                  | Some e -> go (e :: acc) rest
+                  | None -> `Corrupt (List.rev acc))
+            in
+            go [] (String.split_on_char '\n' body))
 
 let quarantine_counter = Atomic.make 0
 
@@ -192,30 +160,45 @@ let add t ~section ~key ~value =
       Hashtbl.replace t.added (section, key) value;
       t.dirty <- true)
 
+(* Write [entries] as a complete shard file at [path], atomically
+   (tmp + rename). Shared with {!Fsck}, which heals and compacts
+   through the same writer. *)
+let write_shard ~fingerprint ~path entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Record.header ~fingerprint);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (s, k, v) ->
+      Buffer.add_string buf (Record.encode_line ~section:s ~key:k ~value:v);
+      Buffer.add_char buf '\n')
+    entries;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try Buffer.output_buffer oc buf
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  if Rme_util.Fault.fire "store-rename-eio" then begin
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise (Sys_error (path ^ ": injected I/O error (RME_FAULT store-rename-eio)"))
+  end;
+  Sys.rename tmp path
+
 let flush t =
   with_guard t (fun () ->
       if t.dirty then begin
-        let buf = Buffer.create 4096 in
-        Buffer.add_string buf (header ~fingerprint:t.fingerprint);
-        Buffer.add_char buf '\n';
+        if Rme_util.Fault.fire "store-eio" then
+          raise (Sys_error (t.shard ^ ": injected I/O error (RME_FAULT store-eio)"));
         Hashtbl.fold (fun (s, k) v acc -> (s, k, v) :: acc) t.added []
         |> List.sort compare
-        |> List.iter (fun (s, k, v) ->
-               Buffer.add_string buf s;
-               Buffer.add_char buf ' ';
-               Buffer.add_string buf k;
-               Buffer.add_string buf entry_sep;
-               Buffer.add_string buf v;
-               Buffer.add_char buf '\n');
-        let tmp = t.shard ^ ".tmp" in
-        let oc = open_out_bin tmp in
-        (try Buffer.output_buffer oc buf
-         with e ->
-           close_out_noerr oc;
-           raise e);
-        close_out oc;
-        Sys.rename tmp t.shard;
-        t.dirty <- false
+        |> write_shard ~fingerprint:t.fingerprint ~path:t.shard;
+        t.dirty <- false;
+        (* The durability point: everything added so far has just been
+           published atomically. A crash here must lose nothing — the
+           fault-injection suite kills the process at exactly this
+           instant and asserts the resumed run finds every entry. *)
+        if Rme_util.Fault.fire "crash-after-flush" then Unix._exit 70
       end)
 
 let stats t =

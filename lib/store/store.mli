@@ -70,3 +70,10 @@ val stats : t -> stats
 
 val iter : t -> (section:string -> key:string -> value:string -> unit) -> unit
 (** Iterate over live entries (testing/inspection; unspecified order). *)
+
+val write_shard :
+  fingerprint:string -> path:string -> (string * string * string) list -> unit
+(** Write [(section, key, value)] entries as a complete,
+    current-version shard file at [path], atomically (tmp + rename) —
+    the one shard writer, shared with {!Fsck}'s heal/compact. Raises
+    [Sys_error] on filesystem failure. *)

@@ -1,0 +1,34 @@
+(** Fault-injection hooks for resilience tests.
+
+    Production code paths (store flush, cell compute, worker serve)
+    carry named injection sites that are inert unless armed through
+    the [RME_FAULT] environment variable — a comma-separated list of
+    [name] or [name:int] tokens, e.g.
+    [RME_FAULT="crash-after-flush:3,slow-cell:20"].
+
+    The integer is interpreted per site:
+    - for {!fire} sites it is a one-based trigger count — the site
+      fires exactly on its [n]-th call, never again;
+    - for {!armed}/{!param} sites it is a free parameter (e.g. a delay
+      in milliseconds), left untouched by queries.
+
+    All queries are thread-safe. The environment is read once,
+    lazily; {!set_spec} replaces the active spec from in-process
+    tests without touching the environment. *)
+
+val armed : string -> bool
+(** Whether the site appears in the active spec. Never consumes a
+    trigger count. *)
+
+val fire : string -> bool
+(** [fire name] is [true] when the fault should strike at this call:
+    on every call for a bare [name] spec, exactly on the [n]-th call
+    for [name:n]. [false] for sites not in the spec. *)
+
+val param : string -> int option
+(** The site's integer argument, if armed with one. *)
+
+val set_spec : string option -> unit
+(** Replace the active spec ([None] disarms everything) — for tests
+    that inject faults into their own process. Subsequent queries use
+    it instead of [RME_FAULT]. *)

@@ -330,7 +330,7 @@ let test_cell_key_round_trip () =
 
 let test_compute_encoded () =
   let c = mk_cell ~seed:5 () in
-  (match Engine.compute_encoded ~section:"cell" ~key:(Engine.cell_key_string c) with
+  (match Engine.compute_encoded ~section:"cell" ~key:(Engine.cell_key_string c) () with
   | None -> Alcotest.fail "cell key should be servable"
   | Some enc ->
       let e = Engine.create ~jobs:1 () in
@@ -339,9 +339,9 @@ let test_compute_encoded () =
       Alcotest.(check bool) "worker compute = direct compute" true
         (Engine.cell_result_decode enc = Some direct));
   Alcotest.(check bool) "unknown section unservable" true
-    (Engine.compute_encoded ~section:"bogus" ~key:(Engine.cell_key_string c) = None);
+    (Engine.compute_encoded ~section:"bogus" ~key:(Engine.cell_key_string c) () = None);
   Alcotest.(check bool) "garbage key unservable" true
-    (Engine.compute_encoded ~section:"cell" ~key:"garbage" = None)
+    (Engine.compute_encoded ~section:"cell" ~key:"garbage" () = None)
 
 (* ---------------- the worker serve loop, in-process ---------------- *)
 

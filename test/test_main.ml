@@ -9,6 +9,10 @@ let () =
     Test_dist.worker_main ();
     exit 0
   end;
+  (* The resilience tests re-execute this binary as a store-backed
+     sweep child they then crash, signal and resume. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "__rme_sweep__" then
+    Test_resilience.sweep_main ();
   Alcotest.run "rme"
     [
       Test_bitword.suite;
@@ -34,6 +38,7 @@ let () =
       Test_experiments.suite;
       Test_parallel.suite;
       Test_store.suite;
+      Test_resilience.suite;
       Test_dist.suite;
       Test_cli.suite;
     ]

@@ -1,0 +1,501 @@
+(* Resilience of long sweeps: CRC-32 vectors, fault-injection plumbing,
+   per-cell budgets (a deliberately deadlocked lock is flagged, not
+   hung), graceful interruption with checkpointing, and the headline
+   guarantees — no committed store line is ever lost under injected
+   faults, and a killed-and-resumed sweep reproduces the uninterrupted
+   tables byte-identically. *)
+
+module Crc32 = Rme_util.Crc32
+module Fault = Rme_util.Fault
+module Store = Rme_store.Store
+module Record = Rme_store.Record
+module Fsck = Rme_store.Fsck
+module Engine = Rme_experiments.Engine
+module H = Rme_sim.Harness
+module Rmr = Rme_memory.Rmr
+module Memory = Rme_memory.Memory
+module Lock_intf = Rme_sim.Lock_intf
+module Prog = Rme_sim.Prog
+
+(* ---------------- scratch directories ---------------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let dir_counter = ref 0
+
+let with_dir f =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rme_resil_test_%d_%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf d;
+  Sys.mkdir d 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let fp = "0123456789abcdef0123456789abcdef"
+
+(* Every test that arms faults or the interrupt flag must disarm them
+   on the way out, pass or fail — global state leaking into the next
+   test would be its own flakiness generator. *)
+let with_clean_globals f =
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.set_spec None;
+      Engine.clear_interrupt ())
+    f
+
+(* ---------------- CRC-32 ---------------- *)
+
+let test_crc_vectors () =
+  Alcotest.(check string) "IEEE check vector" "cbf43926"
+    (Crc32.hex_of_string "123456789");
+  Alcotest.(check int) "empty string" 0 (Crc32.string "");
+  Alcotest.(check string) "8 hex digits, zero-padded" "00000000" (Crc32.to_hex 0);
+  let s = "cell some-key := some-value" in
+  let whole = Crc32.string s in
+  let split = Crc32.update (Crc32.update 0 s 0 9) s 9 (String.length s - 9) in
+  Alcotest.(check int) "incremental update = whole" whole split;
+  Alcotest.(check int) "sub = string of substring"
+    (Crc32.string "345")
+    (Crc32.sub "12345678" ~pos:2 ~len:3);
+  Alcotest.check_raises "bad bounds rejected"
+    (Invalid_argument "Crc32.sub") (fun () ->
+      ignore (Crc32.sub "abc" ~pos:2 ~len:5))
+
+(* ---------------- fault-injection spec ---------------- *)
+
+let test_fault_spec () =
+  with_clean_globals (fun () ->
+      Fault.set_spec (Some "counted:3,always,param-site:70");
+      Alcotest.(check bool) "absent site never fires" false (Fault.fire "nope");
+      Alcotest.(check bool) "absent site not armed" false (Fault.armed "nope");
+      Alcotest.(check (list bool)) "counted fires exactly on the 3rd call"
+        [ false; false; true; false; false ]
+        (List.init 5 (fun _ -> Fault.fire "counted"));
+      Alcotest.(check (list bool)) "bare name fires every call" [ true; true ]
+        (List.init 2 (fun _ -> Fault.fire "always"));
+      Alcotest.(check bool) "armed does not consume" true
+        (Fault.armed "param-site" && Fault.armed "param-site");
+      Alcotest.(check (option int)) "param read back" (Some 70)
+        (Fault.param "param-site");
+      Alcotest.(check (option int)) "bare site has no param" None
+        (Fault.param "always");
+      Fault.set_spec None;
+      Alcotest.(check bool) "disarmed" false (Fault.fire "always"))
+
+(* ---------------- budgets flag deadlocks ---------------- *)
+
+(* A lock whose entry protocol spins on a fetch-and-add forever: the
+   harness can never complete a passage, so only the budgets stand
+   between a sweep and an infinite loop. *)
+let deadlock_factory : Lock_intf.factory =
+  {
+    Lock_intf.name = "toy-deadlock";
+    recoverable = false;
+    min_width = (fun ~n:_ -> 1);
+    make =
+      (fun mem ~n:_ ->
+        let cell = Memory.alloc mem ~init:0 in
+        let rec churn () = Prog.bind (Prog.faa cell 1) (fun _ -> churn ()) in
+        {
+          Lock_intf.entry = (fun ~pid:_ -> Prog.bind (churn ()) Prog.return);
+          exit = (fun ~pid:_ -> Prog.return ());
+          recover = (fun ~pid:_ -> Prog.return Lock_intf.Resume_entry);
+          system_epoch = None;
+        });
+  }
+
+let test_step_budget_flags_deadlock () =
+  (* S6 regression: the default budget formula must flag a deadlocked
+     lock as timed out — never loop. *)
+  Alcotest.(check int) "budget formula exposed" (20_000 + (4_000 * 2 * 2))
+    (H.default_step_budget ~n:2);
+  let cfg = H.default_config ~n:2 ~width:8 Rmr.Cc in
+  let r = H.run cfg deadlock_factory in
+  Alcotest.(check bool) "flagged timed out" true r.H.timed_out;
+  Alcotest.(check bool) "not ok" false r.H.ok;
+  Alcotest.(check int) "stopped at the budget" cfg.H.step_budget r.H.steps
+
+let test_wall_clock_deadline () =
+  let t0 = Unix.gettimeofday () in
+  let cfg =
+    {
+      (H.default_config ~n:2 ~width:8 Rmr.Cc) with
+      H.step_budget = 1_000_000_000;
+      deadline = Some (t0 +. 0.05);
+    }
+  in
+  let r = H.run cfg deadlock_factory in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "deadline cuts the run" true r.H.timed_out;
+  Alcotest.(check bool) "and does so promptly" true (dt < 10.0)
+
+let toy_cell = Engine.cell ~seed:1 ~n:2 ~width:8 ~model:Rmr.Cc deadlock_factory
+
+let test_engine_records_and_retries_timeouts () =
+  with_dir (fun d ->
+      (* A budgeted engine records an explicit timed-out result... *)
+      let e1 = Engine.create ~jobs:1 ~cache_dir:d ~step_budget:2_000 () in
+      let r1 = Engine.get e1 toy_cell in
+      Engine.shutdown e1;
+      Alcotest.(check bool) "timed out recorded" true r1.Engine.timed_out;
+      (* ... the flag round-trips through the store ... *)
+      let s = Store.open_ ~dir:d ~fingerprint:(Engine.code_fingerprint ()) in
+      (match
+         Store.find s ~section:"cell" (Engine.cell_key_string toy_cell)
+       with
+      | None -> Alcotest.fail "timed-out result not persisted"
+      | Some v -> (
+          match Engine.cell_result_decode v with
+          | Some r -> Alcotest.(check bool) "to= flag on disk" true r.Engine.timed_out
+          | None -> Alcotest.fail "stored result undecodable"));
+      (* ... a plain rerun serves it from disk without recomputing ... *)
+      let e2 = Engine.create ~jobs:1 ~cache_dir:d ~step_budget:2_000 () in
+      ignore (Engine.get e2 toy_cell);
+      let c2 = Engine.counters e2 in
+      Engine.shutdown e2;
+      Alcotest.(check int) "served from disk" 1 c2.Engine.disk;
+      Alcotest.(check int) "not recomputed" 0 c2.Engine.computed;
+      (* ... and a resume-mode engine retries it with escalated budgets. *)
+      let e3 =
+        Engine.create ~jobs:1 ~cache_dir:d ~step_budget:2_000
+          ~retry_timed_out:true ~escalation:2.0 ()
+      in
+      let r3 = Engine.get e3 toy_cell in
+      let c3 = Engine.counters e3 in
+      Engine.shutdown e3;
+      Alcotest.(check int) "retried, not served stale" 1 c3.Engine.computed;
+      Alcotest.(check int) "disk hit skipped" 0 c3.Engine.disk;
+      Alcotest.(check bool) "still flagged (a true deadlock)" true
+        r3.Engine.timed_out)
+
+(* ---------------- store faults lose nothing committed ---------------- *)
+
+let test_store_eio_keeps_committed_lines () =
+  with_clean_globals (fun () ->
+      with_dir (fun d ->
+          let s = Store.open_ ~dir:d ~fingerprint:fp in
+          Store.add s ~section:"cell" ~key:"k1" ~value:"v1";
+          Store.flush s;
+          Store.add s ~section:"cell" ~key:"k2" ~value:"v2";
+          Fault.set_spec (Some "store-eio");
+          (match Store.flush s with
+          | () -> Alcotest.fail "flush should have failed with EIO"
+          | exception Sys_error _ -> ());
+          (* The failed flush destroyed nothing already on disk... *)
+          let s2 = Store.open_ ~dir:d ~fingerprint:fp in
+          Alcotest.(check bool) "committed line intact" true
+            (Store.find s2 ~section:"cell" "k1" = Some "v1");
+          (* ... and the pending entry is still buffered: the next
+             healthy flush commits it. *)
+          Fault.set_spec None;
+          Store.flush s;
+          let s3 = Store.open_ ~dir:d ~fingerprint:fp in
+          Alcotest.(check bool) "pending entry survives the fault" true
+            (Store.find s3 ~section:"cell" "k2" = Some "v2")))
+
+let test_store_rename_eio_keeps_committed_lines () =
+  with_clean_globals (fun () ->
+      with_dir (fun d ->
+          let s = Store.open_ ~dir:d ~fingerprint:fp in
+          Store.add s ~section:"cell" ~key:"k1" ~value:"v1";
+          Store.flush s;
+          Store.add s ~section:"cell" ~key:"k2" ~value:"v2";
+          Fault.set_spec (Some "store-rename-eio");
+          (match Store.flush s with
+          | () -> Alcotest.fail "flush should have failed before rename"
+          | exception Sys_error _ -> ());
+          Fault.set_spec None;
+          (* The atomic-rename discipline means the fault left no torn
+             shard behind — only the healthy previous generation. *)
+          let s2 = Store.open_ ~dir:d ~fingerprint:fp in
+          Alcotest.(check int) "no quarantine, no tear" 0
+            (Store.stats s2).Store.quarantined;
+          Alcotest.(check bool) "committed line intact" true
+            (Store.find s2 ~section:"cell" "k1" = Some "v1")))
+
+(* ---------------- v1 shards still load ---------------- *)
+
+let test_v1_shard_compat () =
+  with_dir (fun d ->
+      let path = Filename.concat d "shard-legacy-0.rme" in
+      let oc = open_out path in
+      Printf.fprintf oc "# rme-store 1 %s\ncell old-key := old-value\n" fp;
+      close_out oc;
+      let s = Store.open_ ~dir:d ~fingerprint:fp in
+      Alcotest.(check bool) "pre-CRC line served" true
+        (Store.find s ~section:"cell" "old-key" = Some "old-value");
+      Alcotest.(check int) "nothing quarantined" 0 (Store.stats s).Store.quarantined;
+      (* A v2 rewrite of the same directory re-persists it with CRCs. *)
+      Store.add s ~section:"cell" ~key:"new-key" ~value:"new-value";
+      Store.flush s;
+      let r = Fsck.scan ~dir:d ~fingerprint:fp in
+      Alcotest.(check int) "both shards readable" 2 r.Fsck.clean)
+
+(* ---------------- fsck: scan / repair / compact ---------------- *)
+
+(* A zoo with one shard of every class. Entry keys are distinct so the
+   surviving population is checkable exactly. *)
+let build_zoo d =
+  let write name lines =
+    let oc = open_out (Filename.concat d name) in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc
+  in
+  let line k v = Record.encode_line ~section:"cell" ~key:k ~value:v in
+  let hdr = Record.header ~fingerprint:fp in
+  write "shard-clean-0.rme" [ hdr; line "c1" "v"; line "c2" "v" ];
+  write "shard-v1-0.rme"
+    [ Printf.sprintf "# rme-store 1 %s" fp; "cell o1 := v" ];
+  write "shard-stale-0.rme"
+    [ Record.header ~fingerprint:"ffffffffffffffffffffffffffffffff"; line "s1" "v" ];
+  (* Torn: valid prefix, then an unterminated half line at EOF. *)
+  let torn = Filename.concat d "shard-torn-0.rme" in
+  let oc = open_out torn in
+  output_string oc (hdr ^ "\n" ^ line "t1" "v" ^ "\n" ^ line "t2" "v" ^ "\n");
+  output_string oc (String.sub (line "t3" "v") 0 8);
+  close_out oc;
+  (* Corrupt: a bit-flip in the middle line of three. *)
+  let l2 = Bytes.of_string (line "m2" "v") in
+  Bytes.set l2 6 'X';
+  write "shard-corrupt-0.rme"
+    [ hdr; line "m1" "v"; Bytes.to_string l2; line "m3" "v" ];
+  write "shard-junk-0.rme" [ "\x00\x01 not a shard at all" ]
+
+let test_fsck_scan_classifies () =
+  with_dir (fun d ->
+      build_zoo d;
+      let r = Fsck.scan ~dir:d ~fingerprint:fp in
+      Alcotest.(check int) "scanned" 6 r.Fsck.scanned;
+      Alcotest.(check int) "clean (v2 + v1)" 2 r.Fsck.clean;
+      Alcotest.(check int) "stale" 1 r.Fsck.stale;
+      Alcotest.(check int) "torn" 1 r.Fsck.torn;
+      Alcotest.(check int) "corrupt" 1 r.Fsck.corrupt;
+      Alcotest.(check int) "unreadable" 1 r.Fsck.unreadable;
+      Alcotest.(check int) "intact entries" 7 r.Fsck.entries;
+      Alcotest.(check int) "lost lines" 2 r.Fsck.lost_lines;
+      (* Scan is read-only: the zoo is untouched. *)
+      Alcotest.(check int) "nothing quarantined" 0
+        (let q = Filename.concat d "quarantine" in
+         if Sys.file_exists q then Array.length (Sys.readdir q) else 0))
+
+let test_fsck_repair_heals_and_salvages () =
+  with_dir (fun d ->
+      build_zoo d;
+      let r = Fsck.repair ~dir:d ~fingerprint:fp in
+      Alcotest.(check int) "torn shard healed in place" 1 r.Fsck.healed;
+      Alcotest.(check int) "corrupt + junk quarantined" 2 r.Fsck.quarantined;
+      Alcotest.(check int) "good lines salvaged out of the corrupt shard" 2
+        r.Fsck.salvaged;
+      (* Post-repair, the directory is wholly clean... *)
+      let r2 = Fsck.scan ~dir:d ~fingerprint:fp in
+      Alcotest.(check int) "no torn left" 0 r2.Fsck.torn;
+      Alcotest.(check int) "no corrupt left" 0 r2.Fsck.corrupt;
+      Alcotest.(check int) "no unreadable left" 0 r2.Fsck.unreadable;
+      Alcotest.(check int) "entries preserved" 7 r2.Fsck.entries;
+      (* ... and the store serves exactly the intact population. *)
+      let s = Store.open_ ~dir:d ~fingerprint:fp in
+      let have k = Store.find s ~section:"cell" k <> None in
+      List.iter
+        (fun k -> Alcotest.(check bool) (k ^ " survives") true (have k))
+        [ "c1"; "c2"; "o1"; "t1"; "t2"; "m1"; "m3" ];
+      List.iter
+        (fun k -> Alcotest.(check bool) (k ^ " gone") false (have k))
+        [ "t3"; "m2"; "s1" ])
+
+let test_fsck_compact_merges () =
+  with_dir (fun d ->
+      build_zoo d;
+      let merged, entries = Fsck.compact ~dir:d ~fingerprint:fp in
+      Alcotest.(check bool) "several shards merged" true (merged >= 2);
+      Alcotest.(check int) "all intact entries written" 7 entries;
+      let r = Fsck.scan ~dir:d ~fingerprint:fp in
+      Alcotest.(check int) "one clean shard remains" 1 r.Fsck.clean;
+      Alcotest.(check int) "stale shard left alone" 1 r.Fsck.stale;
+      Alcotest.(check int) "entries preserved" 7 r.Fsck.entries;
+      let s = Store.open_ ~dir:d ~fingerprint:fp in
+      Alcotest.(check bool) "salvaged entry survives the merge" true
+        (Store.find s ~section:"cell" "m3" = Some "v"))
+
+(* ---------------- graceful interruption, in process ---------------- *)
+
+let sweep_cells =
+  (* A small two-lock sweep of registry locks (so fingerprints match
+     across processes), big enough for mid-sweep interruption. *)
+  List.concat_map
+    (fun lock ->
+      List.map
+        (fun seed -> Engine.cell ~seed ~n:4 ~width:16 ~model:Rmr.Cc lock)
+        [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+    [ Rme_locks.Tas.factory; Rme_locks.Mcs.factory ]
+
+let digest_of e =
+  String.concat ";"
+    (List.map
+       (fun c ->
+         let r = Engine.get e c in
+         Printf.sprintf "%s=%d/%d/%d"
+           (Engine.cell_key_string c)
+           r.Engine.max_passage_rmr r.Engine.total_rmrs r.Engine.cs_entries)
+       sweep_cells)
+
+let reference_digest =
+  lazy
+    (let e = Engine.create ~jobs:1 () in
+     let d = digest_of e in
+     Engine.shutdown e;
+     d)
+
+let test_interrupt_checkpoints_and_resumes () =
+  with_clean_globals (fun () ->
+      with_dir (fun d ->
+          let half, rest =
+            ( List.filteri (fun i _ -> i < 10) sweep_cells,
+              List.filteri (fun i _ -> i >= 10) sweep_cells )
+          in
+          let e = Engine.create ~jobs:2 ~cache_dir:d ~label:"interrupt-test" () in
+          Engine.prefetch e half;
+          Engine.request_interrupt ();
+          (match Engine.prefetch e rest with
+          | () -> Alcotest.fail "interrupted prefetch should raise"
+          | exception Engine.Interrupted -> ());
+          (* The checkpoint wrote an interrupted manifest... *)
+          (match Engine.load_manifest ~dir:d with
+          | None -> Alcotest.fail "no manifest after interrupt"
+          | Some m ->
+              Alcotest.(check bool) "manifest flagged interrupted" true
+                m.Engine.m_interrupted;
+              Alcotest.(check string) "label recorded" "interrupt-test"
+                m.Engine.m_label;
+              Alcotest.(check bool) "committed cells recorded" true
+                (m.Engine.m_done >= 10));
+          (* ... and everything committed before the interrupt is on
+             disk: a fresh engine over the directory completes the sweep
+             with the first half served from disk, byte-identically. *)
+          Engine.clear_interrupt ();
+          Engine.shutdown e;
+          let e2 = Engine.create ~jobs:2 ~cache_dir:d () in
+          Engine.prefetch e2 sweep_cells;
+          let dg = digest_of e2 in
+          let c = Engine.counters e2 in
+          Engine.shutdown e2;
+          Alcotest.(check string) "resumed tables byte-identical"
+            (Lazy.force reference_digest) dg;
+          Alcotest.(check bool) "first half came from disk" true
+            (c.Engine.disk >= 10);
+          (match Engine.load_manifest ~dir:d with
+          | None -> Alcotest.fail "no manifest after resume"
+          | Some m ->
+              Alcotest.(check bool) "manifest cleared" false
+                m.Engine.m_interrupted)))
+
+(* ---------------- kill-and-resume, across processes ---------------- *)
+
+(* The [__rme_sweep__] child (see test_main.ml): run [sweep_cells]
+   through a store-backed engine, autosaving after every cell. The
+   parent injects faults or signals and then resumes over the same
+   directory in-process. *)
+let sweep_main () =
+  Engine.install_interrupt_handlers ();
+  let dir = Sys.argv.(2) in
+  let e = Engine.create ~jobs:1 ~cache_dir:dir ~autosave_cells:1 ~label:"child" () in
+  match Engine.prefetch e sweep_cells with
+  | () ->
+      Engine.shutdown e;
+      exit 0
+  | exception Engine.Interrupted -> exit Engine.exit_interrupted
+
+let spawn_sweep ~env_fault dir =
+  let env =
+    Array.append (Unix.environment ())
+      (match env_fault with Some f -> [| "RME_FAULT=" ^ f |] | None -> [||])
+  in
+  Unix.create_process_env Sys.executable_name
+    [| Sys.executable_name; "__rme_sweep__"; dir |]
+    env Unix.stdin Unix.stdout Unix.stderr
+
+let wait_code pid =
+  match snd (Unix.waitpid [] pid) with
+  | Unix.WEXITED c -> c
+  | Unix.WSIGNALED s -> 128 + s
+  | Unix.WSTOPPED s -> 256 + s
+
+let resume_and_check d ~expect_disk =
+  let e = Engine.create ~jobs:2 ~cache_dir:d () in
+  Engine.prefetch e sweep_cells;
+  let dg = digest_of e in
+  let c = Engine.counters e in
+  Engine.shutdown e;
+  Alcotest.(check string) "resumed tables byte-identical"
+    (Lazy.force reference_digest) dg;
+  if expect_disk then
+    Alcotest.(check bool) "resume reused committed cells" true (c.Engine.disk > 0)
+
+let test_crash_after_flush_resumes () =
+  with_dir (fun d ->
+      (* The child dies with exit 70 right after its 3rd store flush —
+         the published shard generation must be complete and a resume
+         must reproduce the reference tables exactly. *)
+      let code = wait_code (spawn_sweep ~env_fault:(Some "crash-after-flush:3") d) in
+      Alcotest.(check int) "child crashed where injected" 70 code;
+      let r = Fsck.scan ~dir:d ~fingerprint:(Engine.code_fingerprint ()) in
+      Alcotest.(check int) "no torn shard behind the crash" 0
+        (r.Fsck.torn + r.Fsck.corrupt + r.Fsck.unreadable);
+      Alcotest.(check bool) "committed cells present" true (r.Fsck.entries >= 3);
+      resume_and_check d ~expect_disk:true)
+
+let test_sigint_mid_sweep_resumes () =
+  with_dir (fun d ->
+      (* Slow each cell down so the signal lands mid-sweep; exit 75
+         (stopped at a checkpoint) or 0 (sweep won the race) are both
+         legitimate, anything else is a broken shutdown path. *)
+      let pid = spawn_sweep ~env_fault:(Some "slow-cell:30") d in
+      Unix.sleepf 0.3;
+      (try Unix.kill pid Sys.sigint with Unix.Unix_error _ -> ());
+      let code = wait_code pid in
+      Alcotest.(check bool)
+        (Printf.sprintf "clean interrupt exit (got %d)" code)
+        true
+        (code = Engine.exit_interrupted || code = 0);
+      resume_and_check d ~expect_disk:(code = 0 || code = Engine.exit_interrupted))
+
+let suite =
+  ( "resilience",
+    [
+      Alcotest.test_case "crc32: vectors and incremental update" `Quick
+        test_crc_vectors;
+      Alcotest.test_case "fault: spec parsing, counted fire, params" `Quick
+        test_fault_spec;
+      Alcotest.test_case "harness: step budget flags a deadlocked lock" `Quick
+        test_step_budget_flags_deadlock;
+      Alcotest.test_case "harness: wall-clock deadline cuts a deadlock" `Quick
+        test_wall_clock_deadline;
+      Alcotest.test_case "engine: timeouts recorded, retried on resume" `Quick
+        test_engine_records_and_retries_timeouts;
+      Alcotest.test_case "store: EIO on flush loses no committed line" `Quick
+        test_store_eio_keeps_committed_lines;
+      Alcotest.test_case "store: EIO on rename leaves no torn shard" `Quick
+        test_store_rename_eio_keeps_committed_lines;
+      Alcotest.test_case "store: v1 (pre-CRC) shards still load" `Quick
+        test_v1_shard_compat;
+      Alcotest.test_case "fsck: scan classifies the zoo" `Quick
+        test_fsck_scan_classifies;
+      Alcotest.test_case "fsck: repair heals, quarantines, salvages" `Quick
+        test_fsck_repair_heals_and_salvages;
+      Alcotest.test_case "fsck: compact merges clean shards" `Quick
+        test_fsck_compact_merges;
+      Alcotest.test_case "engine: interrupt checkpoints, resume completes" `Quick
+        test_interrupt_checkpoints_and_resumes;
+      Alcotest.test_case "process: crash-after-flush, resume byte-identical"
+        `Quick test_crash_after_flush_resumes;
+      Alcotest.test_case "process: SIGINT mid-sweep, resume byte-identical"
+        `Quick test_sigint_mid_sweep_resumes;
+    ] )

@@ -7,6 +7,8 @@
 
 module Store = Rme_store.Store
 module Codec = Rme_store.Codec
+module Record = Rme_store.Record
+module Fsck = Rme_store.Fsck
 module Engine = Rme_experiments.Engine
 module E = Rme_experiments.Experiments
 module Table = Rme_util.Table
@@ -134,6 +136,7 @@ let test_cell_result_round_trip () =
   let r =
     {
       Engine.ok = true;
+      timed_out = false;
       max_passage_rmr = 17;
       mean_passage_rmr = 10.0 /. 3.0;
       total_crashes = 2;
@@ -391,6 +394,7 @@ let test_engine_fingerprint_gates_disk () =
           (Engine.cell_result_encode
              {
                Engine.ok = true;
+               timed_out = false;
                max_passage_rmr = 99999;
                mean_passage_rmr = 99999.0;
                total_crashes = 0;
@@ -447,6 +451,87 @@ let test_resolve_cache_dir () =
   Alcotest.(check bool) "empty env is off" true
     (Engine.resolve_cache_dir ~no_cache:false () = None)
 
+(* ---------------- properties: per-line CRC vs file damage ---------------- *)
+
+(* Write a shard of [n] entries and return its path plus content. *)
+let write_entries d n =
+  let s = Store.open_ ~dir:d ~fingerprint:fp in
+  for i = 0 to n - 1 do
+    Store.add s ~section:"cell"
+      ~key:(Printf.sprintf "k%02d" i)
+      ~value:(string_of_int i)
+  done;
+  Store.flush s;
+  let shard = List.hd (shards d) in
+  let ic = open_in_bin shard in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (shard, content)
+
+(* Truncating a shard at ANY byte offset must, after [Fsck.repair],
+   leave exactly the entry lines wholly contained before the cut —
+   the per-line CRC keeps a partial line from ever parsing as a
+   (different) valid entry, and the torn-tail heal keeps the prefix. *)
+let prop_truncation_salvages_exact_prefix =
+  QCheck.Test.make ~count:80
+    ~name:"store: truncation at any offset keeps exactly the full lines"
+    QCheck.(pair (int_range 1 16) (int_bound 10_000))
+    (fun (n, cut_sel) ->
+      with_dir (fun d ->
+          let shard, content = write_entries d n in
+          let len = String.length content in
+          let header_end = String.index content '\n' + 1 in
+          let cut = header_end + (cut_sel mod (len - header_end + 1)) in
+          let fd = Unix.openfile shard [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate fd cut;
+          Unix.close fd;
+          let expected = ref 0 in
+          String.iteri
+            (fun i c -> if c = '\n' && i >= header_end && i < cut then incr expected)
+            content;
+          ignore (Fsck.repair ~dir:d ~fingerprint:fp);
+          let s = Store.open_ ~dir:d ~fingerprint:fp in
+          (Store.stats s).Store.entries = !expected))
+
+(* Flipping any single payload byte must knock out that line — and
+   only that line — whether the damage reads as a torn tail (last
+   line) or interior corruption (quarantine + salvage). *)
+let prop_byte_flip_drops_only_that_line =
+  QCheck.Test.make ~count:80
+    ~name:"store: a flipped byte drops exactly its own line"
+    QCheck.(pair (int_range 2 12) (pair (int_bound 1_000) (int_bound 10_000)))
+    (fun (n, (line_sel, pos_sel)) ->
+      with_dir (fun d ->
+          let shard, content = write_entries d n in
+          let header_end = String.index content '\n' + 1 in
+          (* Line starts, in key order (write_shard sorts; k%02d sorts
+             like the index). *)
+          let starts = ref [ header_end ] in
+          String.iteri
+            (fun i c ->
+              if c = '\n' && i >= header_end && i < String.length content - 1 then
+                starts := (i + 1) :: !starts)
+            content;
+          let starts = Array.of_list (List.rev !starts) in
+          let target = line_sel mod n in
+          let line_start = starts.(target) in
+          let line_end = String.index_from content line_start '\n' in
+          let pos = line_start + (pos_sel mod (line_end - line_start)) in
+          let b = Bytes.of_string content in
+          Bytes.set b pos (if Bytes.get b pos = 'Z' then 'Y' else 'Z');
+          let oc = open_out_bin shard in
+          output_bytes oc b;
+          close_out oc;
+          ignore (Fsck.repair ~dir:d ~fingerprint:fp);
+          let s = Store.open_ ~dir:d ~fingerprint:fp in
+          let have i =
+            Store.find s ~section:"cell" (Printf.sprintf "k%02d" i) <> None
+          in
+          (Store.stats s).Store.entries = n - 1
+          && (not (have target))
+          && List.for_all have
+               (List.filter (fun i -> i <> target) (List.init n Fun.id))))
+
 let suite =
   ( "store",
     [
@@ -481,4 +566,6 @@ let suite =
         test_engine_unusable_dir_degrades;
       Alcotest.test_case "engine: cache dir resolution order" `Quick
         test_resolve_cache_dir;
+      Qc.to_alcotest prop_truncation_salvages_exact_prefix;
+      Qc.to_alcotest prop_byte_flip_drops_only_that_line;
     ] )
